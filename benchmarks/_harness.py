@@ -1,0 +1,55 @@
+"""Shared plumbing for the figure benchmarks.
+
+Each benchmark regenerates one paper figure via :mod:`repro.experiments`,
+asserts its *shape* (orderings, rough factors — not absolute numbers, since
+the substrate is a simulator) and records the full series under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.experiments import FigureResult, current_scale, format_figure
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def thresholds() -> dict:
+    """Scale-aware assertion thresholds.
+
+    The *shape* claims are identical at every scale; only the magnitudes
+    differ — an 8-round smoke run cannot reach the accuracy a 60-round paper
+    run does, but the orderings must already be visible.
+    """
+    if current_scale().name == "smoke":
+        return {
+            "useful": 0.18,       # well above the 10% random-guess floor
+            "margin_big": 0.05,   # decisive-win margin
+            "margin_small": 0.02,  # no-worse-than margin
+            "parity": 0.25,       # "the curves coincide" tolerance
+            "flat": 0.25,         # "stays flat across epsilon" tolerance
+        }
+    return {
+        "useful": 0.45,
+        "margin_big": 0.25,
+        "margin_small": 0.05,
+        "parity": 0.12,
+        "flat": 0.15,
+    }
+
+
+def record_result(result: FigureResult, *, name: Optional[str] = None) -> str:
+    """Write the figure's text table and JSON dump; returns the text path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    stem = (name or result.figure_id).replace("/", "_").replace("=", "_")
+    text_path = os.path.join(RESULTS_DIR, f"{stem}.txt")
+    with open(text_path, "w") as handle:
+        handle.write(format_figure(result) + "\n")
+    with open(os.path.join(RESULTS_DIR, f"{stem}.json"), "w") as handle:
+        json.dump(result.to_dict(), handle, indent=2)
+    print()
+    print(format_figure(result))
+    return text_path

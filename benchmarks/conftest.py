@@ -1,0 +1,14 @@
+"""Benchmark session configuration."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.experiments import current_scale  # noqa: E402
+
+
+def pytest_report_header(config):
+    scale = current_scale()
+    return (f"repro figure benchmarks — scale {scale.description} "
+            f"(set REPRO_BENCH_SCALE=smoke|reduced|paper)")

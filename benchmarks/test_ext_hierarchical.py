@@ -1,0 +1,111 @@
+"""Extension: Fed-MS vs hierarchical (grouped) multi-server FL.
+
+The related work (Section II) builds multi-server FL by statically grouping
+clients under dedicated PSs with an inter-server exchange. This study runs
+that architecture against Fed-MS on the same workload, topology and attack,
+quantifying the claim that motivates Fed-MS: a grouped client hears from
+exactly one PS, so the ~epsilon fraction of clients in Byzantine groups is
+unprotectable regardless of the inter-server rule, while Fed-MS's
+client-side trimmed mean over all P PSs protects everyone.
+"""
+
+from _harness import record_result, thresholds
+from repro.aggregation import make_rule
+from repro.attacks import make_attack
+from repro.core import FedMSConfig, FedMSTrainer, HierarchicalTrainer
+from repro.experiments import FigureResult, FigureWorkload, current_scale
+
+
+def run_architecture_comparison(seed=0):
+    scale = current_scale()
+    workload = FigureWorkload(scale, seed=seed)
+    partitions = workload.partitions(10.0, tag="ext_hierarchical")
+    num_byzantine = max(round(0.2 * scale.num_servers), 1)
+    attack_name = "random"
+
+    def config(trim):
+        return FedMSConfig(
+            num_clients=scale.num_clients,
+            num_servers=scale.num_servers,
+            num_byzantine=num_byzantine,
+            local_steps=3,
+            batch_size=scale.batch_size,
+            learning_rate=0.05,
+            trim_ratio=trim,
+            eval_clients=2,
+            seed=seed,
+        )
+
+    rows = []
+
+    fed_ms = FedMSTrainer(
+        config(0.2),
+        model_factory=workload.model_factory(),
+        client_datasets=partitions,
+        test_dataset=workload.test,
+        attack=make_attack(attack_name),
+    )
+    history = fed_ms.run(scale.num_rounds, eval_every=scale.eval_every)
+    rows.append({
+        "architecture": "fed_ms",
+        "inter_server_rule": "-",
+        "final_accuracy": history.final_accuracy,
+        "upload_messages_per_round": (
+            history.total_upload_messages / scale.num_rounds
+        ),
+    })
+
+    for rule_name in ("mean", "trimmed_mean"):
+        rule = make_rule(rule_name, trim_ratio=0.2)
+        hierarchical = HierarchicalTrainer(
+            config(0.2),
+            model_factory=workload.model_factory(),
+            client_datasets=partitions,
+            test_dataset=workload.test,
+            attack=make_attack(attack_name),
+            inter_server_rule=rule,
+        )
+        history = hierarchical.run(scale.num_rounds,
+                                   eval_every=scale.eval_every)
+        rows.append({
+            "architecture": "hierarchical",
+            "inter_server_rule": rule_name,
+            "final_accuracy": history.final_accuracy,
+            "upload_messages_per_round": (
+                history.total_upload_messages / scale.num_rounds
+            ),
+        })
+    return FigureResult(
+        figure_id="ext_hierarchical",
+        params={"attack": attack_name, "epsilon": 0.2, "scale": scale.name},
+        rows=rows,
+        notes="grouped clients of a Byzantine PS are unprotectable; "
+              "Fed-MS protects all clients at the same upload cost",
+    )
+
+
+def test_fed_ms_beats_hierarchical_under_attack(benchmark):
+    result = benchmark.pedantic(run_architecture_comparison, rounds=1,
+                                iterations=1)
+    record_result(result)
+
+    accuracy = {
+        (row["architecture"], row["inter_server_rule"]): row["final_accuracy"]
+        for row in result.rows
+    }
+    limits = thresholds()
+
+    fed_ms = accuracy[("fed_ms", "-")]
+    hier_mean = accuracy[("hierarchical", "mean")]
+    hier_robust = accuracy[("hierarchical", "trimmed_mean")]
+
+    assert fed_ms > limits["useful"]
+    # Fed-MS strictly dominates grouped FL under the Random attack,
+    # whichever inter-server rule the groups use.
+    assert fed_ms > hier_mean + limits["margin_small"]
+    assert fed_ms > hier_robust + limits["margin_small"]
+
+    # Same aggregation-phase cost (K uploads per round).
+    uploads = {row["architecture"]: row["upload_messages_per_round"]
+               for row in result.rows}
+    assert uploads["fed_ms"] == uploads["hierarchical"]

@@ -1,0 +1,61 @@
+"""Figure 3: the impact of the Byzantine PS fraction epsilon.
+
+Paper (Section VI-C, Noise attack): with epsilon = 0, Fed-MS and Vanilla FL
+coincide (~75%); as epsilon grows to 30%, Vanilla FL's final accuracy slides
+from ~48% down to ~25% while Fed-MS stays at the no-attack level.
+
+Shape asserted: (a) parity at epsilon = 0; (b) Fed-MS is flat across
+epsilon; (c) Vanilla degrades relative to its epsilon = 0 self.
+"""
+
+import pytest
+
+from _harness import record_result, thresholds
+from repro.experiments import run_fig3_epsilon_panel
+
+EPSILONS = (0.0, 0.1, 0.2, 0.3)
+
+_results = {}
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_fig3_epsilon_panel(benchmark, epsilon):
+    result = benchmark.pedantic(
+        lambda: run_fig3_epsilon_panel(epsilon), rounds=1, iterations=1
+    )
+    record_result(result)
+    _results[epsilon] = result
+
+    limits = thresholds()
+    fed_ms = result.curve("Fed-MS")
+    vanilla = result.curve("Vanilla FL")
+
+    if epsilon == 0.0:
+        # Fig. 3(a): no Byzantine PSs -> the defense costs almost nothing.
+        assert abs(fed_ms.final_accuracy - vanilla.final_accuracy) < \
+            limits["parity"]
+    else:
+        assert fed_ms.final_accuracy >= \
+            vanilla.final_accuracy - limits["margin_small"]
+
+    # Fed-MS stays useful at every epsilon.
+    assert fed_ms.final_accuracy > limits["useful"]
+
+
+def test_fig3_vanilla_degrades_with_epsilon(benchmark):
+    """Cross-panel claim: Vanilla FL under Noise loses accuracy as the
+    Byzantine fraction grows, Fed-MS does not."""
+    if len(_results) < len(EPSILONS):  # pragma: no cover - ordering guard
+        pytest.skip("panel benchmarks did not all run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    limits = thresholds()
+    vanilla_clean = _results[0.0].curve("Vanilla FL").final_accuracy
+    vanilla_worst = _results[0.3].curve("Vanilla FL").final_accuracy
+    fed_ms_clean = _results[0.0].curve("Fed-MS").final_accuracy
+    fed_ms_worst = _results[0.3].curve("Fed-MS").final_accuracy
+    assert vanilla_worst < vanilla_clean - limits["margin_small"], (
+        f"vanilla did not degrade: {vanilla_clean:.3f} -> {vanilla_worst:.3f}"
+    )
+    assert fed_ms_worst > fed_ms_clean - limits["flat"], (
+        f"Fed-MS degraded too much: {fed_ms_clean:.3f} -> {fed_ms_worst:.3f}"
+    )

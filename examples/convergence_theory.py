@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Theorem 1 live: measured convergence vs the closed-form O(1/T) bound.
+
+Builds a strongly convex softmax-regression FEEL problem, measures every
+constant the theory needs (mu, L, G, sigma_k, Gamma, ||w0 - w*||), runs
+Fed-MS with the prescribed learning-rate schedule under a Noise attack, and
+prints measured suboptimality against the Theorem 1 bound round by round,
+plus the five-term Delta decomposition.
+
+Usage::
+
+    python examples/convergence_theory.py [--rounds 120] [--byzantine 1]
+"""
+
+import argparse
+
+from repro.experiments import run_convergence_rate
+from repro.theory import ProblemConstants, delta_decomposition
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=120)
+    parser.add_argument("--clients", type=int, default=20)
+    parser.add_argument("--servers", type=int, default=5)
+    parser.add_argument("--byzantine", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    result = run_convergence_rate(
+        num_clients=args.clients,
+        num_servers=args.servers,
+        num_byzantine=args.byzantine,
+        num_rounds=args.rounds,
+        seed=args.seed,
+    )
+
+    params = result.params
+    print("measured problem constants:")
+    print(f"  mu (strong convexity)  = {params['mu']:.4g}")
+    print(f"  L (smoothness)         = {params['smoothness']:.4g}")
+    print(f"  G (gradient bound)     = {params['gradient_bound']:.4g}")
+    print(f"  Gamma (heterogeneity)  = {params['gamma_heterogeneity']:.4g}")
+    print(f"  gamma = max(8L/mu, E)  = {params['gamma']:.4g}")
+
+    constants = ProblemConstants(
+        mu=params["mu"],
+        smoothness=params["smoothness"],
+        gradient_bound=params["gradient_bound"],
+        sigma_sq=[0.0] * args.clients,  # display-only reconstruction
+        gamma_heterogeneity=params["gamma_heterogeneity"],
+        num_clients=args.clients,
+        num_servers=args.servers,
+        num_byzantine=args.byzantine,
+        local_steps=3,
+    )
+    print("\nDelta decomposition (sigma terms omitted in this display):")
+    for name, value in delta_decomposition(constants).items():
+        print(f"  {name:>22s} = {value:.4g}")
+
+    print(f"\n{'round':>6s} {'step':>6s} {'F(w)-F*':>12s} "
+          f"{'Thm-1 bound':>12s} {'t x subopt':>12s}")
+    for row in result.rows:
+        scaled = row["suboptimality"] * (params["gamma"] + row["global_step"])
+        print(f"{row['round']:>6d} {row['global_step']:>6d} "
+              f"{row['suboptimality']:>12.3e} {row['theorem1_bound']:>12.3e} "
+              f"{scaled:>12.4f}")
+    print("\nO(1/T): the last column should stay bounded; the measured "
+          "suboptimality must sit below the bound at every step.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Data-heterogeneity study (the paper's Fig. 4 + Fig. 5 in one script).
+
+For each Dirichlet concentration ``D_alpha``, prints the label distribution
+of the first clients (Fig. 4), scalar heterogeneity indices, and the
+accuracy trajectory of Fed-MS under a 20% Noise attack (Fig. 5).
+
+Usage::
+
+    python examples/heterogeneity_study.py [--alphas 1 5 10 1000] [--rounds 15]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import FedMSConfig, FedMSTrainer, make_attack
+from repro.common import RngFactory
+from repro.data import (
+    ArrayDataset,
+    dirichlet_partition,
+    label_distribution_matrix,
+    make_synthetic_cifar10,
+    mean_client_entropy,
+    mean_total_variation_distance,
+)
+from repro.models import MLP
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--alphas", nargs="+", type=float,
+                        default=[1.0, 5.0, 10.0, 1000.0])
+    parser.add_argument("--rounds", type=int, default=15)
+    parser.add_argument("--clients", type=int, default=20)
+    parser.add_argument("--show-clients", type=int, default=6,
+                        help="how many clients' label histograms to print")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rngs = RngFactory(args.seed)
+    train, test = make_synthetic_cifar10(2000, 400, rng=rngs.make("data"))
+    flat_train = ArrayDataset(train.features.reshape(len(train), -1),
+                              train.labels)
+    flat_test = ArrayDataset(test.features.reshape(len(test), -1),
+                             test.labels)
+
+    finals = {}
+    for alpha in args.alphas:
+        partitions = dirichlet_partition(
+            flat_train, args.clients, alpha=alpha,
+            rng=rngs.make(f"partition/{alpha}"), min_samples_per_client=2,
+        )
+
+        # --- Fig. 4: the partition itself ---------------------------------
+        print(f"\n=== D_alpha = {alpha:g} ===")
+        matrix = label_distribution_matrix(partitions[:args.show_clients], 10)
+        print(f"label counts of the first {args.show_clients} clients "
+              f"(rows=clients, cols=classes):")
+        for row in matrix.astype(int):
+            print("   " + " ".join(f"{count:>4d}" for count in row))
+        tv = mean_total_variation_distance(partitions, 10)
+        entropy = mean_client_entropy(partitions, 10)
+        print(f"mean TV distance to global law: {tv:.3f} "
+              f"(0 = IID); mean label entropy: {entropy:.3f} "
+              f"(max {np.log(10):.3f})")
+
+        # --- Fig. 5: Fed-MS under attack on this partition -----------------
+        config = FedMSConfig(num_clients=args.clients, num_servers=5,
+                             num_byzantine=1, trim_ratio=0.2,
+                             eval_clients=1, seed=args.seed)
+        trainer = FedMSTrainer(
+            config,
+            model_factory=lambda rng: MLP(3072, (64,), 10, rng=rng),
+            client_datasets=partitions,
+            test_dataset=flat_test,
+            attack=make_attack("noise"),
+        )
+        history = trainer.run(args.rounds,
+                              eval_every=max(args.rounds // 3, 1))
+        curve = ", ".join(
+            f"r{r}={a:.3f}" for r, a in zip(history.evaluated_rounds,
+                                            history.accuracies)
+        )
+        print(f"Fed-MS under 20% Noise attack: {curve}")
+        finals[alpha] = history.final_accuracy
+
+    print("\n=== summary (final accuracy by D_alpha) ===")
+    for alpha, accuracy in finals.items():
+        print(f"  D_alpha={alpha:>7g}: {accuracy:.3f}")
+    print("higher D_alpha (more IID data) should converge faster and finish "
+          "higher, as in the paper's Fig. 5.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Robust aggregation rules: the trimmed-mean filter and baselines."""
+
+from .registry import AggregationRule, available_rules, make_rule
+from .rules import (
+    bulyan,
+    coordinate_median,
+    geometric_median,
+    krum,
+    krum_index,
+    mean,
+    multi_krum,
+    trim_count,
+    trimmed_mean,
+)
+
+__all__ = [
+    "mean",
+    "trimmed_mean",
+    "trim_count",
+    "coordinate_median",
+    "geometric_median",
+    "krum",
+    "krum_index",
+    "multi_krum",
+    "bulyan",
+    "AggregationRule",
+    "available_rules",
+    "make_rule",
+]

@@ -1,0 +1,55 @@
+"""Name-based construction of aggregation rules.
+
+Benchmarks and examples select filters by name (``"trimmed_mean"``,
+``"median"``, ...); this registry maps those names to closures with a
+uniform ``stack -> vector`` signature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from . import rules
+
+__all__ = ["AggregationRule", "available_rules", "make_rule"]
+
+AggregationRule = Callable[[np.ndarray], np.ndarray]
+
+
+def available_rules() -> List[str]:
+    """Names accepted by :func:`make_rule`."""
+    return ["mean", "trimmed_mean", "median", "geometric_median", "krum",
+            "multi_krum", "bulyan"]
+
+
+def make_rule(name: str, *, trim_ratio: float = 0.0,
+              num_byzantine: int = 0) -> AggregationRule:
+    """Build a ``stack -> vector`` aggregation closure.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_rules`.
+    trim_ratio:
+        Used by ``trimmed_mean`` (the paper's beta).
+    num_byzantine:
+        Used by ``krum`` / ``multi_krum`` (their ``f`` parameter).
+    """
+    builders: Dict[str, AggregationRule] = {
+        "mean": rules.mean,
+        "trimmed_mean": lambda stack: rules.trimmed_mean(stack, trim_ratio),
+        "median": rules.coordinate_median,
+        "geometric_median": rules.geometric_median,
+        "krum": lambda stack: rules.krum(stack, num_byzantine),
+        "multi_krum": lambda stack: rules.multi_krum(stack, num_byzantine),
+        "bulyan": lambda stack: rules.bulyan(stack, num_byzantine),
+    }
+    try:
+        return builders[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown aggregation rule {name!r}; available: {available_rules()}"
+        ) from None

@@ -1,0 +1,232 @@
+"""Aggregation rules over stacks of model vectors.
+
+The central function is :func:`trimmed_mean` — the paper's
+``trmean_beta{...}`` filter (Section IV-B): in each coordinate, drop the
+``floor(beta * P)`` largest and smallest values and average the rest. The
+other rules are the robust-aggregation baselines from the related work
+(coordinate median, geometric median via Weiszfeld, Krum) plus the plain
+mean, used by the filter-ablation benchmark.
+
+All rules take a 2-D array ``stack`` of shape ``(num_models, dim)`` — one
+row per received model — and return a single vector of shape ``(dim,)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..common.errors import ConfigurationError, ConvergenceError, ShapeError
+
+__all__ = [
+    "mean",
+    "trimmed_mean",
+    "trim_count",
+    "coordinate_median",
+    "geometric_median",
+    "krum",
+    "multi_krum",
+    "krum_index",
+    "bulyan",
+]
+
+
+def _check_stack(stack: np.ndarray) -> np.ndarray:
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 2:
+        raise ShapeError(f"expected (num_models, dim) stack, got shape {stack.shape}")
+    if stack.shape[0] == 0:
+        raise ShapeError("cannot aggregate an empty stack of models")
+    return stack
+
+
+def mean(stack: np.ndarray) -> np.ndarray:
+    """Plain coordinate-wise average (what a benign PS computes)."""
+    return _check_stack(stack).mean(axis=0)
+
+
+def trim_count(num_models: int, trim_ratio: float) -> int:
+    """Number of entries removed from *each* tail by ``trimmed_mean``.
+
+    ``floor(trim_ratio * num_models)``, validated so at least one entry
+    survives: ``2 * trim_count < num_models``.
+    """
+    if not 0.0 <= trim_ratio < 0.5:
+        raise ConfigurationError(
+            f"trim_ratio must be in [0, 0.5), got {trim_ratio}"
+        )
+    count = int(np.floor(trim_ratio * num_models))
+    if 2 * count >= num_models:
+        raise ConfigurationError(
+            f"trimming {count} from each tail of {num_models} models leaves nothing"
+        )
+    return count
+
+
+def trimmed_mean(stack: np.ndarray, trim_ratio: float) -> np.ndarray:
+    """The paper's ``trmean_beta`` model filter.
+
+    In each dimension independently, discard the largest and smallest
+    ``floor(trim_ratio * num_models)`` values and average the remainder.
+    With ``trim_ratio = B / P`` this tolerates up to ``B`` arbitrarily
+    tampered models out of ``P`` (Lemma 2 bounds the estimation error by
+    ``P * sigma^2 / (P - 2B)^2``).
+
+    Example (paper, Section IV-B): ``trmean_0.2{1, 2, 3, 4, 5} = 3``.
+    """
+    stack = _check_stack(stack)
+    count = trim_count(stack.shape[0], trim_ratio)
+    if count == 0:
+        return stack.mean(axis=0)
+    ordered = np.sort(stack, axis=0)
+    return ordered[count:stack.shape[0] - count].mean(axis=0)
+
+
+def coordinate_median(stack: np.ndarray) -> np.ndarray:
+    """Coordinate-wise median (Yin et al., 2018 baseline)."""
+    return np.median(_check_stack(stack), axis=0)
+
+
+def geometric_median(stack: np.ndarray, *, tolerance: float = 1e-9,
+                     max_iterations: int = 5000,
+                     smoothing: float = 1e-6) -> np.ndarray:
+    """Smoothed geometric median via Weiszfeld iteration.
+
+    Minimizes the smoothed objective ``sum_i sqrt(||x - row_i||^2 + eps^2)``
+    with ``eps = smoothing * max|stack|`` — the robust aggregation of
+    Pillutla et al. (2022) and the over-the-air scheme of Huang et al.
+    (2021) cited by the paper. Smoothing makes the objective differentiable
+    everywhere, which removes plain Weiszfeld's sublinear zigzag when the
+    optimum sits exactly on a (possibly repeated) data point; the result is
+    within ``O(eps)`` of the exact geometric median.
+
+    Raises :class:`ConvergenceError` if the iteration exceeds
+    ``max_iterations`` without meeting the (scale-relative) step or
+    objective-stall tolerance.
+    """
+    stack = _check_stack(stack)
+    if stack.shape[0] == 1:
+        return stack[0].copy()
+    current = stack.mean(axis=0)
+    # All criteria are relative to the data scale, so convergence behaves
+    # identically for weights of magnitude 1e-3 or 1e+6.
+    scale = float(np.max(np.abs(stack))) or 1.0
+    # Guard after squaring: (smoothing * scale)^2 itself can underflow
+    # for subnormal-magnitude inputs.
+    eps_sq = max((smoothing * scale) ** 2, float(np.finfo(np.float64).tiny))
+    previous_objective = float("inf")
+    for _ in range(max_iterations):
+        smoothed = np.sqrt(
+            np.einsum("ij,ij->i", stack - current, stack - current) + eps_sq
+        )
+        objective = float(smoothed.sum())
+        if previous_objective - objective < tolerance * (objective + scale):
+            return current
+        previous_objective = objective
+        weights = 1.0 / smoothed
+        # Normalize by the max first: raw weights can be enormous and
+        # their direct sum can overflow; ratios are always <= 1.
+        weights /= weights.max()
+        weights /= weights.sum()
+        updated = weights @ stack
+        step = float(np.linalg.norm(updated - current))
+        current = updated
+        if step < tolerance * scale:
+            return current
+    raise ConvergenceError(
+        f"Weiszfeld iteration did not converge in {max_iterations} steps"
+    )
+
+
+def _pairwise_squared_distances(stack: np.ndarray) -> np.ndarray:
+    norms = np.einsum("ij,ij->i", stack, stack)
+    squared = norms[:, None] + norms[None, :] - 2.0 * stack @ stack.T
+    return np.maximum(squared, 0.0)
+
+
+def krum_index(stack: np.ndarray, num_byzantine: int) -> int:
+    """Index of the Krum-selected row (Blanchard et al., 2017).
+
+    Scores each candidate by the sum of squared distances to its
+    ``n - f - 2`` nearest neighbours and returns the argmin. Requires
+    ``n > 2 f + 2``.
+    """
+    stack = _check_stack(stack)
+    n = stack.shape[0]
+    if num_byzantine < 0:
+        raise ConfigurationError(f"num_byzantine must be >= 0, got {num_byzantine}")
+    neighbours = n - num_byzantine - 2
+    if neighbours < 1:
+        raise ConfigurationError(
+            f"Krum needs n > f + 2 + 1 (got n={n}, f={num_byzantine})"
+        )
+    squared = _pairwise_squared_distances(stack)
+    np.fill_diagonal(squared, np.inf)
+    sorted_rows = np.sort(squared, axis=1)
+    scores = sorted_rows[:, :neighbours].sum(axis=1)
+    return int(np.argmin(scores))
+
+
+def krum(stack: np.ndarray, num_byzantine: int) -> np.ndarray:
+    """The single model vector selected by Krum."""
+    return stack[krum_index(stack, num_byzantine)].copy()
+
+
+def multi_krum(stack: np.ndarray, num_byzantine: int, *,
+               num_selected: Optional[int] = None) -> np.ndarray:
+    """Multi-Krum: average the ``m`` best-scored candidates.
+
+    Defaults to ``m = n - f`` selections as in the original paper.
+    """
+    stack = _check_stack(stack)
+    n = stack.shape[0]
+    neighbours = n - num_byzantine - 2
+    if neighbours < 1:
+        raise ConfigurationError(
+            f"Multi-Krum needs n > f + 2 + 1 (got n={n}, f={num_byzantine})"
+        )
+    if num_selected is None:
+        num_selected = n - num_byzantine
+    if not 1 <= num_selected <= n:
+        raise ConfigurationError(
+            f"num_selected must be in [1, {n}], got {num_selected}"
+        )
+    squared = _pairwise_squared_distances(stack)
+    np.fill_diagonal(squared, np.inf)
+    sorted_rows = np.sort(squared, axis=1)
+    scores = sorted_rows[:, :neighbours].sum(axis=1)
+    chosen = np.argsort(scores)[:num_selected]
+    return stack[chosen].mean(axis=0)
+
+
+def bulyan(stack: np.ndarray, num_byzantine: int) -> np.ndarray:
+    """Bulyan (Guerraoui & Rouault, 2018): Krum selection + trimmed average.
+
+    Iteratively runs Krum to select ``theta = n - 2f`` candidates, then
+    aggregates them with a coordinate-wise trimmed average keeping the
+    ``theta - 2f`` values closest to the median. Requires ``n >= 4f + 3``.
+    """
+    stack = _check_stack(stack)
+    n = stack.shape[0]
+    if num_byzantine < 0:
+        raise ConfigurationError(f"num_byzantine must be >= 0, got {num_byzantine}")
+    if n < 4 * num_byzantine + 3:
+        raise ConfigurationError(
+            f"Bulyan needs n >= 4f + 3 (got n={n}, f={num_byzantine})"
+        )
+    theta = n - 2 * num_byzantine
+    remaining = list(range(n))
+    selected: list = []
+    while len(selected) < theta:
+        sub = stack[remaining]
+        winner_local = krum_index(sub, num_byzantine) if len(remaining) > \
+            num_byzantine + 2 else 0
+        winner = remaining.pop(winner_local)
+        selected.append(winner)
+    chosen = stack[selected]
+    keep = theta - 2 * num_byzantine
+    median = np.median(chosen, axis=0)
+    distance_order = np.argsort(np.abs(chosen - median), axis=0)
+    closest = np.take_along_axis(chosen, distance_order[:keep], axis=0)
+    return closest.mean(axis=0)

@@ -1,0 +1,52 @@
+"""Byzantine parameter-server attacks: the paper's four plus extensions."""
+
+from .base import Attack, AttackContext
+from .client_attacks import (
+    ClientAttack,
+    ClientAttackContext,
+    ClientNoiseAttack,
+    ClientSameValueAttack,
+    ClientScalingAttack,
+    ClientSignFlipAttack,
+    available_client_attacks,
+    make_client_attack,
+)
+from .catalog import (
+    AdaptiveTrimmedMeanAttack,
+    BackwardAttack,
+    IdentityAttack,
+    InconsistentAttack,
+    InnerProductManipulationAttack,
+    NoiseAttack,
+    RandomAttack,
+    SafeguardAttack,
+    SignFlipAttack,
+    ZeroAttack,
+)
+from .registry import PAPER_ATTACKS, available_attacks, make_attack
+
+__all__ = [
+    "Attack",
+    "AttackContext",
+    "IdentityAttack",
+    "NoiseAttack",
+    "RandomAttack",
+    "SafeguardAttack",
+    "BackwardAttack",
+    "SignFlipAttack",
+    "ZeroAttack",
+    "InconsistentAttack",
+    "AdaptiveTrimmedMeanAttack",
+    "InnerProductManipulationAttack",
+    "available_attacks",
+    "make_attack",
+    "PAPER_ATTACKS",
+    "ClientAttack",
+    "ClientAttackContext",
+    "ClientSignFlipAttack",
+    "ClientNoiseAttack",
+    "ClientScalingAttack",
+    "ClientSameValueAttack",
+    "available_client_attacks",
+    "make_client_attack",
+]

@@ -1,0 +1,93 @@
+"""Attack protocol for Byzantine parameter servers.
+
+The paper's threat model (Section III-A) gives Byzantine PSs three powers:
+
+* **Arbitrary tampering** — the disseminated model can be anything;
+* **Inconsistency** — different clients may receive different tampered
+  models in the same round (clients cannot cross-check, they never talk to
+  each other);
+* **Adaptive knowledge** — the adversary sees the full algorithm, history
+  and current state, and may react to them.
+
+:class:`AttackContext` carries exactly that information to an
+:class:`Attack` implementation, whose single method produces the tampered
+vector a given client will receive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["AttackContext", "Attack"]
+
+
+class AttackContext:
+    """Everything a Byzantine PS knows when it tampers with its aggregate.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based global round ``t``.
+    server_id:
+        Identifier of the attacking PS.
+    true_aggregate:
+        The honest aggregate ``a_{t+1}^i`` this PS computed from the local
+        models it received (the adversary controls the PS *after* it follows
+        the aggregation step, so it knows the true value).
+    previous_aggregates:
+        This PS's honest aggregates from earlier rounds, oldest first
+        (the state a Backward/Safeguard attack needs).
+    all_server_aggregates:
+        Adaptive knowledge: the honest aggregates of *all* PSs this round,
+        shape ``(P, dim)``, or ``None`` for attacks that do not use it.
+    client_id:
+        The client about to receive the tampered model, or ``None`` when the
+        same model is broadcast to everyone. Lets an attack send different
+        lies to different clients.
+    rng:
+        Dedicated random stream for this PS's attack noise.
+    """
+
+    def __init__(self, *, round_index: int, server_id: int,
+                 true_aggregate: np.ndarray,
+                 previous_aggregates: List[np.ndarray],
+                 rng: np.random.Generator,
+                 all_server_aggregates: Optional[np.ndarray] = None,
+                 client_id: Optional[int] = None) -> None:
+        self.round_index = round_index
+        self.server_id = server_id
+        self.true_aggregate = true_aggregate
+        self.previous_aggregates = previous_aggregates
+        self.all_server_aggregates = all_server_aggregates
+        self.client_id = client_id
+        self.rng = rng
+
+
+class Attack:
+    """Base class for Byzantine PS behaviors.
+
+    Subclasses implement :meth:`tamper`, mapping the context to the vector
+    the PS actually disseminates. Implementations must not modify
+    ``context.true_aggregate`` in place.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "identity"
+
+    def tamper(self, context: AttackContext) -> np.ndarray:
+        """Return the tampered dissemination vector."""
+        raise NotImplementedError
+
+    @property
+    def is_client_dependent(self) -> bool:
+        """True when the attack may send different models to different clients.
+
+        The training loop uses this to decide whether one tampered vector can
+        be broadcast or whether :meth:`tamper` must run per client.
+        """
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,58 @@
+"""Name-based attack construction for benchmarks and CLI examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..common.errors import ConfigurationError
+from .base import Attack
+from .catalog import (
+    AdaptiveTrimmedMeanAttack,
+    BackwardAttack,
+    IdentityAttack,
+    InconsistentAttack,
+    InnerProductManipulationAttack,
+    NoiseAttack,
+    RandomAttack,
+    SafeguardAttack,
+    SignFlipAttack,
+    ZeroAttack,
+)
+
+__all__ = ["available_attacks", "make_attack", "PAPER_ATTACKS"]
+
+#: The four attacks of the paper's evaluation (Fig. 2), by registry name.
+PAPER_ATTACKS = ("noise", "random", "safeguard", "backward")
+
+_BUILDERS: Dict[str, Callable[[], Attack]] = {
+    "identity": IdentityAttack,
+    "noise": NoiseAttack,
+    "random": RandomAttack,
+    "safeguard": SafeguardAttack,
+    "backward": BackwardAttack,
+    "sign_flip": SignFlipAttack,
+    "zero": ZeroAttack,
+    "inconsistent": InconsistentAttack,
+    "adaptive_trimmed_mean": AdaptiveTrimmedMeanAttack,
+    "inner_product": InnerProductManipulationAttack,
+}
+
+
+def available_attacks() -> List[str]:
+    """Names accepted by :func:`make_attack`."""
+    return sorted(_BUILDERS)
+
+
+def make_attack(name: str, **kwargs) -> Attack:
+    """Instantiate an attack by registry name.
+
+    Keyword arguments are forwarded to the attack constructor, e.g.
+    ``make_attack("noise", scale=2.0)``.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown attack {name!r}; available: {available_attacks()}"
+        ) from None
+    return builder(**kwargs)

@@ -1,0 +1,141 @@
+"""Command-line interface for the figure reproductions.
+
+Usage::
+
+    python -m repro fig2 --attack random
+    python -m repro fig3 --epsilon 0.2
+    python -m repro fig4
+    python -m repro fig5 --alpha 10
+    python -m repro comm
+    python -m repro convergence --rounds 120
+    python -m repro ablation
+    python -m repro quickstart
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (smoke/reduced/paper) or the
+``--scale`` flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .attacks import PAPER_ATTACKS, available_attacks
+from .experiments import (
+    SCALES,
+    ascii_curves,
+    current_scale,
+    format_figure,
+    run_comm_cost,
+    run_convergence_rate,
+    run_fig2_attack_panel,
+    run_fig3_epsilon_panel,
+    run_fig4_heterogeneity,
+    run_fig5_alpha_panel,
+    run_filter_ablation,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fed-MS reproduction: regenerate the paper's figures.",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        help="workload scale (default: REPRO_BENCH_SCALE or "
+                             "'reduced')")
+    parser.add_argument("--seed", type=int, default=0)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fig2 = commands.add_parser(
+        "fig2", help="accuracy under a Byzantine PS attack (Fig. 2)")
+    fig2.add_argument("--attack", default="random",
+                      choices=available_attacks())
+
+    fig3 = commands.add_parser(
+        "fig3", help="impact of the Byzantine fraction (Fig. 3)")
+    fig3.add_argument("--epsilon", type=float, default=0.2)
+
+    commands.add_parser("fig4", help="partition heterogeneity (Fig. 4)")
+
+    fig5 = commands.add_parser(
+        "fig5", help="impact of data heterogeneity (Fig. 5)")
+    fig5.add_argument("--alpha", type=float, default=10.0)
+
+    commands.add_parser("comm", help="sparse vs full upload cost (Sec. IV-A)")
+
+    convergence = commands.add_parser(
+        "convergence", help="Theorem 1 rate on a convex problem")
+    convergence.add_argument("--rounds", type=int, default=120)
+    convergence.add_argument("--byzantine", type=int, default=1)
+
+    commands.add_parser("ablation", help="model-filter ablation")
+
+    commands.add_parser("quickstart", help="tiny end-to-end demo run")
+
+    commands.add_parser(
+        "all", help=f"every paper figure ({', '.join(PAPER_ATTACKS)} panels, "
+                    "fig3 sweep, fig4, fig5 sweep, comm, convergence)")
+    return parser
+
+
+def _resolve_scale(args):
+    if args.scale is not None:
+        return SCALES[args.scale]
+    return current_scale()
+
+
+def _emit(result) -> None:
+    print(format_figure(result))
+    if result.curves:
+        series = {
+            curve.label: (list(map(float, curve.rounds)), curve.accuracies)
+            for curve in result.curves
+        }
+        print(ascii_curves(series, y_min=0.0))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = _resolve_scale(args)
+    seed = args.seed
+
+    if args.command == "fig2":
+        _emit(run_fig2_attack_panel(args.attack, scale=scale, seed=seed))
+    elif args.command == "fig3":
+        _emit(run_fig3_epsilon_panel(args.epsilon, scale=scale, seed=seed))
+    elif args.command == "fig4":
+        _emit(run_fig4_heterogeneity(scale=scale, seed=seed))
+    elif args.command == "fig5":
+        _emit(run_fig5_alpha_panel(args.alpha, scale=scale, seed=seed))
+    elif args.command == "comm":
+        _emit(run_comm_cost(scale=scale, seed=seed))
+    elif args.command == "convergence":
+        _emit(run_convergence_rate(num_rounds=args.rounds,
+                                   num_byzantine=args.byzantine, seed=seed))
+    elif args.command == "ablation":
+        _emit(run_filter_ablation(scale=scale, seed=seed))
+    elif args.command == "quickstart":
+        from . import quick_fed_ms_run
+
+        history = quick_fed_ms_run(seed=seed)
+        print(f"Fed-MS quickstart: accuracies {history.accuracies} "
+              f"(final {history.final_accuracy:.3f})")
+    elif args.command == "all":
+        for attack in PAPER_ATTACKS:
+            _emit(run_fig2_attack_panel(attack, scale=scale, seed=seed))
+        for epsilon in (0.0, 0.1, 0.2, 0.3):
+            _emit(run_fig3_epsilon_panel(epsilon, scale=scale, seed=seed))
+        _emit(run_fig4_heterogeneity(scale=scale, seed=seed))
+        for alpha in (1.0, 5.0, 10.0, 1000.0):
+            _emit(run_fig5_alpha_panel(alpha, scale=scale, seed=seed))
+        _emit(run_comm_cost(scale=scale, seed=seed))
+        _emit(run_convergence_rate(seed=seed))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

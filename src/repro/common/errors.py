@@ -1,0 +1,42 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+Having a small, explicit hierarchy lets callers distinguish configuration
+mistakes (caught at construction time) from shape/protocol violations that
+appear mid-simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at object-construction time so that a simulation never
+    starts with parameters the theory (or the implementation) cannot support,
+    e.g. a Byzantine majority ``B > P / 2``.
+    """
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor or parameter vector had an unexpected shape."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A federated-learning protocol invariant was violated at runtime.
+
+    Examples: a parameter server receiving zero uploads when the round
+    scheduler guaranteed at least one, or a client receiving a different
+    number of global models than there are parameter servers.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical routine failed to converge.
+
+    Raised by e.g. the Weiszfeld geometric-median solver when it exceeds
+    its iteration budget without meeting the requested tolerance.
+    """

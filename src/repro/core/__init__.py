@@ -1,0 +1,32 @@
+"""The Fed-MS algorithm: clients, parameter servers, training loop."""
+
+from .client import Client
+from .config import FedMSConfig
+from .hierarchical import HierarchicalTrainer
+from .history import RoundRecord, TrainingHistory
+from .server import ByzantineParameterServer, ParameterServer
+from .trainer import FedMSTrainer, make_fedavg_trainer
+from .upload import (
+    FullUpload,
+    MultiUpload,
+    SparseUpload,
+    UploadStrategy,
+    make_upload_strategy,
+)
+
+__all__ = [
+    "FedMSConfig",
+    "Client",
+    "ParameterServer",
+    "ByzantineParameterServer",
+    "FedMSTrainer",
+    "HierarchicalTrainer",
+    "make_fedavg_trainer",
+    "RoundRecord",
+    "TrainingHistory",
+    "UploadStrategy",
+    "SparseUpload",
+    "FullUpload",
+    "MultiUpload",
+    "make_upload_strategy",
+]

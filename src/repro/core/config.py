@@ -1,0 +1,125 @@
+"""Configuration for Fed-MS training runs.
+
+Mirrors the paper's notation (Table I): ``K`` clients, ``P`` parameter
+servers, ``B`` Byzantine servers, ``E`` local iterations per round, trimmed
+rate ``beta``. Validation enforces the feasibility condition of the threat
+model — Byzantine PSs must be a strict minority (``2B < P``), otherwise the
+problem is unsolvable and the trimmed mean is undefined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.validation import (
+    check_fraction,
+    check_nonnegative_int,
+    check_positive_int,
+    require,
+)
+
+__all__ = ["FedMSConfig"]
+
+
+@dataclass
+class FedMSConfig:
+    """Hyper-parameters of a Fed-MS simulation.
+
+    Parameters
+    ----------
+    num_clients:
+        ``K`` — end devices performing local training.
+    num_servers:
+        ``P`` — edge parameter servers.
+    num_byzantine:
+        ``B`` — how many of the PSs are Byzantine. Must satisfy ``2B < P``.
+    local_steps:
+        ``E`` — mini-batch SGD iterations per client per round.
+    batch_size:
+        Mini-batch size for local SGD.
+    learning_rate:
+        Client learning rate (used when ``lr_schedule`` is not supplied to
+        the trainer).
+    trim_ratio:
+        ``beta`` — the model filter's trimmed rate. Defaults to ``B / P``
+        (the value the theory prescribes) when left ``None``.
+    upload_strategy:
+        ``"sparse"`` (paper default — one uniformly random PS per client),
+        ``"full"`` (every PS), or ``"multi"`` (a fixed number of PSs, see
+        ``uploads_per_client``).
+    uploads_per_client:
+        Only for ``upload_strategy="multi"``: how many distinct PSs each
+        client uploads to.
+    include_buffers:
+        Whether batch-norm running statistics travel with the model vector.
+    participation_fraction:
+        Fraction of clients that perform local training and upload in each
+        round (FedAvg-style partial device participation, per Li et al.
+        2019). Non-participants stay synchronized by filtering the
+        disseminated global models like everyone else. 1.0 = the paper's
+        full participation.
+    eval_clients:
+        How many client models are evaluated (and averaged) when measuring
+        test accuracy. After the filter step all clients hold nearly
+        identical models, so a small sample is an accurate estimate.
+    seed:
+        Root seed for every random stream in the run.
+    """
+
+    num_clients: int = 50
+    num_servers: int = 10
+    num_byzantine: int = 2
+    local_steps: int = 3
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    trim_ratio: Optional[float] = None
+    upload_strategy: str = "sparse"
+    uploads_per_client: int = 1
+    include_buffers: bool = True
+    participation_fraction: float = 1.0
+    eval_clients: int = 3
+    seed: int = 0
+
+    resolved_trim_ratio: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_clients, "num_clients")
+        check_positive_int(self.num_servers, "num_servers")
+        check_nonnegative_int(self.num_byzantine, "num_byzantine")
+        check_positive_int(self.local_steps, "local_steps")
+        check_positive_int(self.batch_size, "batch_size")
+        check_positive_int(self.uploads_per_client, "uploads_per_client")
+        check_positive_int(self.eval_clients, "eval_clients")
+        require(self.learning_rate > 0,
+                f"learning_rate must be positive, got {self.learning_rate}")
+        require(2 * self.num_byzantine < self.num_servers,
+                f"Byzantine PSs must be a strict minority: "
+                f"2*{self.num_byzantine} >= {self.num_servers}")
+        require(self.upload_strategy in ("sparse", "full", "multi"),
+                f"unknown upload_strategy {self.upload_strategy!r}")
+        require(self.uploads_per_client <= self.num_servers,
+                f"uploads_per_client={self.uploads_per_client} exceeds "
+                f"num_servers={self.num_servers}")
+        require(0.0 < self.participation_fraction <= 1.0,
+                f"participation_fraction must be in (0, 1], got "
+                f"{self.participation_fraction}")
+        require(self.eval_clients <= self.num_clients,
+                f"eval_clients={self.eval_clients} exceeds "
+                f"num_clients={self.num_clients}")
+        if self.trim_ratio is None:
+            self.resolved_trim_ratio = self.num_byzantine / self.num_servers
+        else:
+            self.resolved_trim_ratio = check_fraction(
+                self.trim_ratio, "trim_ratio", upper=0.5, inclusive_upper=False
+            )
+
+    @property
+    def participants_per_round(self) -> int:
+        """Number of clients training each round (at least 1)."""
+        return max(1, round(self.participation_fraction * self.num_clients))
+
+    @property
+    def byzantine_fraction(self) -> float:
+        """The paper's ``epsilon = B / P``."""
+        return self.num_byzantine / self.num_servers

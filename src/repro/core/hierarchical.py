@@ -1,0 +1,283 @@
+"""Hierarchical (grouped) multi-server FL — the related-work baseline.
+
+The paper's Related Work (Section II) surveys multi-server FL systems
+[26-30] in which clients are statically *grouped*, each group served by one
+PS, with an inter-server exchange producing the global model. This module
+implements that architecture so the reproduction can demonstrate the claim
+motivating Fed-MS: grouped multi-server FL has no client-side redundancy —
+a client only ever hears from its own PS, so a Byzantine group PS fully
+controls its group regardless of any inter-server defense.
+
+Round structure:
+
+1. clients run local SGD (same as Fed-MS);
+2. each client uploads to its *fixed* group PS (cost ``K`` per round);
+3. each PS aggregates its group;
+4. inter-server exchange: every PS sends its (possibly tampered) group
+   aggregate to every other PS; each benign PS combines what it received
+   with ``inter_server_rule`` (plain mean in classical hierarchical FL, a
+   robust rule as a partial mitigation);
+5. each PS disseminates its combined global model to its own group only —
+   a Byzantine PS disseminates whatever it wants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..aggregation import AggregationRule, mean
+from ..attacks.base import Attack
+from ..common.errors import ConfigurationError
+from ..common.rng import RngFactory
+from ..data.datasets import ArrayDataset
+from ..nn.module import Module
+from ..nn.schedules import LRSchedule
+from ..nn.serialization import to_vector
+from ..simulation.network import Message, Network, NodeId
+from .client import Client
+from .config import FedMSConfig
+from .history import RoundRecord, TrainingHistory
+from .server import ByzantineParameterServer, ParameterServer
+
+__all__ = ["HierarchicalTrainer"]
+
+ModelFactory = Callable[[np.random.Generator], Module]
+
+
+class HierarchicalTrainer:
+    """Grouped multi-server FL with an inter-server aggregation stage.
+
+    Accepts the same :class:`FedMSConfig` as :class:`FedMSTrainer`
+    (``upload_strategy`` is ignored — grouping is static). Group membership
+    defaults to ``client k -> PS (k mod P)``.
+    """
+
+    def __init__(self, config: FedMSConfig, *, model_factory: ModelFactory,
+                 client_datasets: Sequence[ArrayDataset],
+                 test_dataset: ArrayDataset,
+                 attack: Optional[Attack] = None,
+                 byzantine_ids: Optional[Sequence[int]] = None,
+                 inter_server_rule: Optional[AggregationRule] = None,
+                 group_of_client: Optional[Sequence[int]] = None,
+                 lr_schedule: Optional[LRSchedule] = None,
+                 flatten_inputs: bool = False,
+                 network: Optional[Network] = None) -> None:
+        if len(client_datasets) != config.num_clients:
+            raise ConfigurationError(
+                f"{len(client_datasets)} client datasets for "
+                f"{config.num_clients} clients"
+            )
+        if config.num_byzantine > 0 and attack is None:
+            raise ConfigurationError(
+                "config.num_byzantine > 0 requires an attack"
+            )
+        self.config = config
+        self.test_dataset = test_dataset
+        self.network = network if network is not None else Network()
+        self.rngs = RngFactory(config.seed)
+        self.inter_server_rule: AggregationRule = (
+            inter_server_rule if inter_server_rule is not None else mean
+        )
+
+        if group_of_client is None:
+            self.group_of_client = [
+                k % config.num_servers for k in range(config.num_clients)
+            ]
+        else:
+            groups = list(group_of_client)
+            if len(groups) != config.num_clients:
+                raise ConfigurationError(
+                    f"group_of_client has {len(groups)} entries for "
+                    f"{config.num_clients} clients"
+                )
+            if any(not 0 <= g < config.num_servers for g in groups):
+                raise ConfigurationError(
+                    f"group ids must be in [0, {config.num_servers})"
+                )
+            self.group_of_client = groups
+        present = set(self.group_of_client)
+        if len(present) < config.num_servers:
+            raise ConfigurationError(
+                "every PS needs at least one group member; groups "
+                f"{sorted(set(range(config.num_servers)) - present)} are empty"
+            )
+
+        init_model = model_factory(self.rngs.make("init/global"))
+        initial_vector = to_vector(init_model,
+                                   include_buffers=config.include_buffers)
+
+        self.clients: List[Client] = []
+        for k in range(config.num_clients):
+            client = Client(
+                k,
+                model_factory(self.rngs.make(f"init/client/{k}")),
+                client_datasets[k],
+                batch_size=config.batch_size,
+                rng=self.rngs.make(f"batches/client/{k}"),
+                lr_schedule=lr_schedule,
+                learning_rate=config.learning_rate,
+                include_buffers=config.include_buffers,
+                flatten_inputs=flatten_inputs,
+            )
+            client.set_model_vector(initial_vector)
+            self.clients.append(client)
+
+        if byzantine_ids is None:
+            chosen = self.rngs.make("byzantine/placement").choice(
+                config.num_servers, size=config.num_byzantine, replace=False
+            )
+            self.byzantine_ids = frozenset(int(i) for i in chosen)
+        else:
+            self.byzantine_ids = frozenset(int(i) for i in byzantine_ids)
+            if len(self.byzantine_ids) != config.num_byzantine:
+                raise ConfigurationError(
+                    f"byzantine_ids has {len(self.byzantine_ids)} ids, "
+                    f"expected {config.num_byzantine}"
+                )
+
+        self.servers: List[ParameterServer] = []
+        for i in range(config.num_servers):
+            if i in self.byzantine_ids:
+                assert attack is not None
+                self.servers.append(ByzantineParameterServer(
+                    i, attack, rng=self.rngs.make(f"attack/server/{i}"),
+                    initial_model=initial_vector,
+                ))
+            else:
+                self.servers.append(ParameterServer(
+                    i, initial_model=initial_vector,
+                ))
+
+        self.history = TrainingHistory()
+        self._round_index = 0
+
+    # ------------------------------------------------------------------
+
+    def run_round(self, *, evaluate: bool = True) -> RoundRecord:
+        """One grouped round: train, group-aggregate, exchange, disseminate."""
+        config = self.config
+        t = self._round_index
+        messages_before = self.network.stats.messages_by_tag.get("upload", 0)
+        bytes_before = self.network.stats.bytes_by_tag.get("upload", 0)
+
+        # 1+2: local training, upload to the fixed group PS.
+        for client, group in zip(self.clients, self.group_of_client):
+            vector = client.local_train(t, config.local_steps)
+            self.network.send(Message(
+                NodeId.client(client.client_id), NodeId.server(group),
+                vector, tag="upload", round_index=t,
+            ))
+
+        # 3: per-group aggregation (honest on every PS).
+        for server in self.servers:
+            uploads = [m.payload for m in
+                       self.network.receive(NodeId.server(server.server_id))]
+            server.aggregate(uploads)
+        all_aggregates = np.stack(
+            [server.current_aggregate for server in self.servers]
+        )
+
+        # 4: inter-server exchange. What PS j *sends* to peers is its
+        # dissemination output (tampered on Byzantine PSs); each benign PS
+        # combines all P contributions (its own true aggregate included).
+        outgoing = [
+            server.disseminate(round_index=t,
+                               all_server_aggregates=all_aggregates)
+            for server in self.servers
+        ]
+        global_models: List[np.ndarray] = []
+        for server in self.servers:
+            contributions = [
+                outgoing[peer.server_id]
+                if peer.server_id != server.server_id
+                else server.current_aggregate
+                for peer in self.servers
+            ]
+            global_models.append(self.inter_server_rule(np.stack(contributions)))
+            # Inter-server traffic: P-1 peer messages per PS.
+            for peer in self.servers:
+                if peer.server_id == server.server_id:
+                    continue
+                self.network.send(Message(
+                    NodeId.server(peer.server_id),
+                    NodeId.server(server.server_id),
+                    outgoing[peer.server_id],
+                    tag="inter_server", round_index=t,
+                ))
+                self.network.receive(NodeId.server(server.server_id))
+
+        # 5: group dissemination — Byzantine PSs ignore the exchange and
+        # send their tampered model; clients have no second opinion.
+        train_loss = float(np.mean(
+            [client.last_train_loss for client in self.clients]
+        ))
+        for client, group in zip(self.clients, self.group_of_client):
+            server = self.servers[group]
+            if server.is_byzantine:
+                model = server.disseminate(
+                    round_index=t, client_id=client.client_id,
+                    all_server_aggregates=all_aggregates,
+                )
+            else:
+                model = global_models[group]
+            self.network.send(Message(
+                NodeId.server(group), NodeId.client(client.client_id),
+                model, tag="dissemination", round_index=t,
+            ))
+            received = self.network.receive(NodeId.client(client.client_id))
+            if received:
+                client.set_model_vector(received[-1].payload)
+                client.optimizer.reset_state()
+
+        record = RoundRecord(
+            round_index=t,
+            train_loss=train_loss,
+            upload_messages=(
+                self.network.stats.messages_by_tag.get("upload", 0)
+                - messages_before
+            ),
+            upload_bytes=(
+                self.network.stats.bytes_by_tag.get("upload", 0) - bytes_before
+            ),
+            dissemination_messages=config.num_clients,
+        )
+        if evaluate:
+            record.test_loss, record.test_accuracy = self._evaluate()
+        self.history.append(record)
+        self._round_index += 1
+        return record
+
+    def _evaluate(self) -> "tuple[float, float]":
+        """Mean (loss, accuracy) over one client per group, then averaged
+        with group sizes as weights — the population-average accuracy."""
+        group_sizes = np.bincount(self.group_of_client,
+                                  minlength=self.config.num_servers)
+        losses, accuracies, weights = [], [], []
+        seen_groups = set()
+        for client, group in zip(self.clients, self.group_of_client):
+            if group in seen_groups:
+                continue
+            seen_groups.add(group)
+            loss, acc = client.evaluate(self.test_dataset)
+            losses.append(loss)
+            accuracies.append(acc)
+            weights.append(group_sizes[group])
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        weights_arr /= weights_arr.sum()
+        return (float(np.dot(losses, weights_arr)),
+                float(np.dot(accuracies, weights_arr)))
+
+    def run(self, num_rounds: int, *, eval_every: int = 1) -> TrainingHistory:
+        """Run ``num_rounds`` rounds, evaluating every ``eval_every``."""
+        if num_rounds <= 0:
+            raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
+        if eval_every <= 0:
+            raise ConfigurationError(f"eval_every must be positive, got {eval_every}")
+        for offset in range(num_rounds):
+            is_last = offset == num_rounds - 1
+            self.run_round(
+                evaluate=is_last or (self._round_index + 1) % eval_every == 0
+            )
+        return self.history

@@ -1,0 +1,90 @@
+"""Training-run records: per-round metrics plus communication accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RoundRecord", "TrainingHistory"]
+
+
+@dataclass
+class RoundRecord:
+    """Metrics for one global round.
+
+    ``test_accuracy``/``test_loss`` are ``None`` on rounds where evaluation
+    was skipped (see the trainer's ``eval_every``).
+    """
+
+    round_index: int
+    train_loss: float
+    test_accuracy: Optional[float] = None
+    test_loss: Optional[float] = None
+    upload_messages: int = 0
+    dissemination_messages: int = 0
+    upload_bytes: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated per-round records of a federated run."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def rounds(self) -> List[int]:
+        return [r.round_index for r in self.records]
+
+    @property
+    def train_losses(self) -> List[float]:
+        return [r.train_loss for r in self.records]
+
+    @property
+    def accuracies(self) -> List[float]:
+        """Test accuracies of the evaluated rounds, in round order."""
+        return [r.test_accuracy for r in self.records
+                if r.test_accuracy is not None]
+
+    @property
+    def evaluated_rounds(self) -> List[int]:
+        return [r.round_index for r in self.records
+                if r.test_accuracy is not None]
+
+    @property
+    def final_accuracy(self) -> Optional[float]:
+        """Most recent measured test accuracy, or ``None`` if never measured."""
+        accuracies = self.accuracies
+        return accuracies[-1] if accuracies else None
+
+    @property
+    def best_accuracy(self) -> Optional[float]:
+        accuracies = self.accuracies
+        return max(accuracies) if accuracies else None
+
+    @property
+    def total_upload_messages(self) -> int:
+        return sum(r.upload_messages for r in self.records)
+
+    @property
+    def total_upload_bytes(self) -> int:
+        return sum(r.upload_bytes for r in self.records)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A json-ready summary of the run."""
+        return {
+            "num_rounds": len(self.records),
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy,
+            "rounds": self.rounds,
+            "train_losses": self.train_losses,
+            "evaluated_rounds": self.evaluated_rounds,
+            "accuracies": self.accuracies,
+            "total_upload_messages": self.total_upload_messages,
+            "total_upload_bytes": self.total_upload_bytes,
+        }

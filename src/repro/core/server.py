@@ -1,0 +1,139 @@
+"""Edge-side parameter servers: benign and Byzantine.
+
+A benign PS (Algorithm 1, server side) averages the local models uploaded
+to it and broadcasts the result. A Byzantine PS performs the same honest
+aggregation internally — the adversary controls what it *disseminates*, and
+the strongest attacks (Safeguard, Backward) are defined in terms of the true
+aggregate history — then tampers the outgoing model through an
+:class:`~repro.attacks.base.Attack`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..aggregation import AggregationRule
+from ..attacks.base import Attack, AttackContext
+from ..common.errors import ProtocolError
+
+__all__ = ["ParameterServer", "ByzantineParameterServer"]
+
+
+class ParameterServer:
+    """A benign edge parameter server.
+
+    Keeps the history of its own aggregates — needed both for the
+    empty-upload fallback (a PS that received nothing this round re-sends
+    its previous model) and as the state Byzantine subclasses attack.
+    """
+
+    def __init__(self, server_id: int, *, max_history: int = 64,
+                 initial_model: Optional[np.ndarray] = None,
+                 aggregation_rule: Optional[AggregationRule] = None) -> None:
+        self.server_id = server_id
+        self.max_history = max_history
+        # How this PS combines the uploads it receives. The paper's PSs
+        # average (Algorithm 1, line 4); a robust rule (e.g. trimmed mean)
+        # defends against Byzantine *clients* — the future-work extension.
+        self.aggregation_rule = aggregation_rule
+        self.initial_model = (
+            np.asarray(initial_model, dtype=np.float64)
+            if initial_model is not None else None
+        )
+        self.aggregate_history: List[np.ndarray] = []
+        self.rounds_without_uploads = 0
+
+    @property
+    def is_byzantine(self) -> bool:
+        return False
+
+    @property
+    def current_aggregate(self) -> np.ndarray:
+        if not self.aggregate_history:
+            raise ProtocolError(
+                f"PS {self.server_id} has not aggregated anything yet"
+            )
+        return self.aggregate_history[-1]
+
+    def aggregate(self, uploads: Sequence[np.ndarray]) -> np.ndarray:
+        """Average the received local models (Algorithm 1, line 4).
+
+        With the sparse upload strategy a PS occasionally receives zero
+        uploads (the multinomial allocation has positive probability of an
+        empty cell); it then keeps its previous aggregate — the behavior of
+        a cache that saw no update — falling back to the initial global
+        model ``w_0`` (which every PS distributed to the clients) when it
+        happens in the very first round.
+        """
+        if uploads:
+            stack = np.stack(uploads)
+            if self.aggregation_rule is not None:
+                aggregate = self.aggregation_rule(stack)
+            else:
+                aggregate = stack.mean(axis=0)
+        else:
+            self.rounds_without_uploads += 1
+            if self.aggregate_history:
+                aggregate = self.aggregate_history[-1].copy()
+            elif self.initial_model is not None:
+                aggregate = self.initial_model.copy()
+            else:
+                raise ProtocolError(
+                    f"PS {self.server_id} received no uploads in the first "
+                    f"round and has no initial model to fall back to"
+                )
+        self.aggregate_history.append(aggregate)
+        if len(self.aggregate_history) > self.max_history:
+            self.aggregate_history.pop(0)
+        return aggregate
+
+    def disseminate(self, *, round_index: int, client_id: Optional[int] = None,
+                    all_server_aggregates: Optional[np.ndarray] = None
+                    ) -> np.ndarray:
+        """The model this PS sends to ``client_id`` (benign: the truth)."""
+        return self.current_aggregate.copy()
+
+    def __repr__(self) -> str:
+        return f"ParameterServer(id={self.server_id})"
+
+
+class ByzantineParameterServer(ParameterServer):
+    """A PS controlled by the adversary.
+
+    Aggregation is inherited unchanged (the adversary knows the true
+    aggregate); dissemination routes through the attack.
+    """
+
+    def __init__(self, server_id: int, attack: Attack, *,
+                 rng: np.random.Generator, max_history: int = 64,
+                 initial_model: Optional[np.ndarray] = None,
+                 aggregation_rule: Optional[AggregationRule] = None) -> None:
+        super().__init__(server_id, max_history=max_history,
+                         initial_model=initial_model,
+                         aggregation_rule=aggregation_rule)
+        self.attack = attack
+        self._rng = rng
+
+    @property
+    def is_byzantine(self) -> bool:
+        return True
+
+    def disseminate(self, *, round_index: int, client_id: Optional[int] = None,
+                    all_server_aggregates: Optional[np.ndarray] = None
+                    ) -> np.ndarray:
+        context = AttackContext(
+            round_index=round_index,
+            server_id=self.server_id,
+            true_aggregate=self.current_aggregate,
+            previous_aggregates=self.aggregate_history[:-1],
+            rng=self._rng,
+            all_server_aggregates=all_server_aggregates,
+            client_id=client_id,
+        )
+        return self.attack.tamper(context)
+
+    def __repr__(self) -> str:
+        return (f"ByzantineParameterServer(id={self.server_id}, "
+                f"attack={self.attack!r})")

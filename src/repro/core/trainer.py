@@ -1,0 +1,489 @@
+"""The Fed-MS training loop (Algorithm 1) and the vanilla FedAvg baseline.
+
+:class:`FedMSTrainer` wires together every substrate in the library: clients
+(:mod:`repro.core.client`) train locally and upload through the simulated
+edge network (:mod:`repro.simulation`) to benign and Byzantine parameter
+servers (:mod:`repro.core.server`, :mod:`repro.attacks`); each client then
+filters the ``P`` received global models with the beta-trimmed mean
+(:mod:`repro.aggregation`) to obtain its next feasible global model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..aggregation import AggregationRule, make_rule
+from ..attacks.base import Attack
+from ..attacks.client_attacks import ClientAttack, ClientAttackContext
+from ..common.errors import ConfigurationError, ProtocolError
+from ..common.rng import RngFactory
+from ..data.datasets import ArrayDataset
+from ..nn.module import Module
+from ..nn.schedules import LRSchedule
+from ..nn.serialization import from_vector, to_vector
+from ..simulation.network import Message, Network, NodeId
+from .client import Client
+from .config import FedMSConfig
+from .history import RoundRecord, TrainingHistory
+from .server import ByzantineParameterServer, ParameterServer
+from .upload import UploadStrategy, make_upload_strategy
+
+__all__ = ["FedMSTrainer", "make_fedavg_trainer"]
+
+ModelFactory = Callable[[np.random.Generator], Module]
+
+
+class FedMSTrainer:
+    """Simulates Fed-MS end to end.
+
+    Parameters
+    ----------
+    config:
+        Topology and hyper-parameters (``K``, ``P``, ``B``, ``E``, beta, ...).
+    model_factory:
+        Builds one model replica from a random generator. Called once per
+        client plus once for the shared initial model ``w_0``.
+    client_datasets:
+        One local dataset per client (length must equal ``config.num_clients``);
+        typically the output of :func:`repro.data.dirichlet_partition`.
+    test_dataset:
+        Held-out data for accuracy measurements.
+    attack:
+        The Byzantine behavior deployed on every Byzantine PS. Required when
+        ``config.num_byzantine > 0``.
+    byzantine_ids:
+        Which PSs are Byzantine. Default: a uniformly random subset of size
+        ``B`` (their distribution is unknown to the clients, per the threat
+        model).
+    filter_rule:
+        The client-side ``Def()``. Default: the beta-trimmed mean with
+        ``beta = config.resolved_trim_ratio``. Pass ``make_rule("mean")``
+        for the paper's undefended "Vanilla FL" comparison.
+    lr_schedule:
+        Optional global-step learning-rate schedule (e.g. the Theorem 1
+        policy); defaults to a constant ``config.learning_rate``.
+    flatten_inputs:
+        Set when the model expects flat feature vectors but the datasets
+        hold images.
+    network:
+        The simulated transport; a fresh loss-free :class:`Network` by
+        default. Supply one with failure injection for robustness studies.
+    client_attack / num_byzantine_clients / byzantine_client_ids:
+        The future-work extension: Byzantine *clients* that tamper with the
+        local model they upload. Placement defaults to a uniformly random
+        subset, like the Byzantine PSs.
+    server_rule:
+        How benign PSs combine the uploads they receive. Default: the
+        paper's plain average; pass a robust rule (e.g.
+        ``make_rule("trimmed_mean", trim_ratio=...)``) to defend against
+        Byzantine clients.
+    """
+
+    def __init__(self, config: FedMSConfig, *, model_factory: ModelFactory,
+                 client_datasets: Sequence[ArrayDataset],
+                 test_dataset: ArrayDataset,
+                 attack: Optional[Attack] = None,
+                 byzantine_ids: Optional[Sequence[int]] = None,
+                 filter_rule: Optional[AggregationRule] = None,
+                 lr_schedule: Optional[LRSchedule] = None,
+                 weight_decay: float = 0.0,
+                 flatten_inputs: bool = False,
+                 network: Optional[Network] = None,
+                 client_attack: Optional[ClientAttack] = None,
+                 num_byzantine_clients: int = 0,
+                 byzantine_client_ids: Optional[Sequence[int]] = None,
+                 server_rule: Optional[AggregationRule] = None) -> None:
+        if len(client_datasets) != config.num_clients:
+            raise ConfigurationError(
+                f"{len(client_datasets)} client datasets for "
+                f"{config.num_clients} clients"
+            )
+        if config.num_byzantine > 0 and attack is None:
+            raise ConfigurationError(
+                "config.num_byzantine > 0 requires an attack"
+            )
+        if num_byzantine_clients > 0 and client_attack is None:
+            raise ConfigurationError(
+                "num_byzantine_clients > 0 requires a client_attack"
+            )
+        if 2 * num_byzantine_clients >= config.num_clients \
+                and num_byzantine_clients > 0:
+            raise ConfigurationError(
+                f"Byzantine clients must be a strict minority: "
+                f"2*{num_byzantine_clients} >= {config.num_clients}"
+            )
+        self.config = config
+        self.test_dataset = test_dataset
+        self.network = network if network is not None else Network()
+        self.rngs = RngFactory(config.seed)
+        self.upload_strategy: UploadStrategy = make_upload_strategy(
+            config.upload_strategy, uploads_per_client=config.uploads_per_client
+        )
+        self.filter_rule: AggregationRule = (
+            filter_rule if filter_rule is not None
+            else make_rule("trimmed_mean", trim_ratio=config.resolved_trim_ratio)
+        )
+
+        # Shared initial model w_0 (Algorithm 1, line 6).
+        init_model = model_factory(self.rngs.make("init/global"))
+        initial_vector = to_vector(init_model,
+                                   include_buffers=config.include_buffers)
+
+        self.clients: List[Client] = []
+        for k in range(config.num_clients):
+            client = Client(
+                k,
+                model_factory(self.rngs.make(f"init/client/{k}")),
+                client_datasets[k],
+                batch_size=config.batch_size,
+                rng=self.rngs.make(f"batches/client/{k}"),
+                lr_schedule=lr_schedule,
+                learning_rate=config.learning_rate,
+                weight_decay=weight_decay,
+                include_buffers=config.include_buffers,
+                flatten_inputs=flatten_inputs,
+            )
+            client.set_model_vector(initial_vector)
+            self.clients.append(client)
+
+        self.byzantine_ids = self._resolve_byzantine_ids(byzantine_ids)
+        self.client_attack = client_attack
+        self.byzantine_client_ids = self._resolve_byzantine_client_ids(
+            num_byzantine_clients, byzantine_client_ids
+        )
+        self._client_attack_rngs = {
+            k: self.rngs.make(f"client_attack/{k}")
+            for k in self.byzantine_client_ids
+        }
+        self.servers: List[ParameterServer] = []
+        for i in range(config.num_servers):
+            if i in self.byzantine_ids:
+                assert attack is not None
+                self.servers.append(ByzantineParameterServer(
+                    i, attack, rng=self.rngs.make(f"attack/server/{i}"),
+                    initial_model=initial_vector,
+                    aggregation_rule=server_rule,
+                ))
+            else:
+                self.servers.append(ParameterServer(
+                    i, initial_model=initial_vector,
+                    aggregation_rule=server_rule,
+                ))
+
+        self._assignment_rng = self.rngs.make("upload/assignment")
+        self._participation_rng = self.rngs.make("participation")
+        self.history = TrainingHistory()
+        self._round_index = 0
+
+    def _resolve_byzantine_ids(self,
+                               byzantine_ids: Optional[Sequence[int]]) -> frozenset:
+        config = self.config
+        if byzantine_ids is None:
+            chosen = self.rngs.make("byzantine/placement").choice(
+                config.num_servers, size=config.num_byzantine, replace=False
+            )
+            return frozenset(int(i) for i in chosen)
+        ids = frozenset(int(i) for i in byzantine_ids)
+        if len(ids) != config.num_byzantine:
+            raise ConfigurationError(
+                f"byzantine_ids has {len(ids)} distinct ids, expected "
+                f"{config.num_byzantine}"
+            )
+        if ids and (min(ids) < 0 or max(ids) >= config.num_servers):
+            raise ConfigurationError(
+                f"byzantine_ids out of range [0, {config.num_servers})"
+            )
+        return ids
+
+    def _resolve_byzantine_client_ids(self, count: int,
+                                      ids: Optional[Sequence[int]]
+                                      ) -> frozenset:
+        config = self.config
+        if ids is None:
+            if count == 0:
+                return frozenset()
+            chosen = self.rngs.make("byzantine/client_placement").choice(
+                config.num_clients, size=count, replace=False
+            )
+            return frozenset(int(i) for i in chosen)
+        resolved = frozenset(int(i) for i in ids)
+        if len(resolved) != count:
+            raise ConfigurationError(
+                f"byzantine_client_ids has {len(resolved)} distinct ids, "
+                f"expected {count}"
+            )
+        if resolved and (min(resolved) < 0
+                         or max(resolved) >= config.num_clients):
+            raise ConfigurationError(
+                f"byzantine_client_ids out of range [0, {config.num_clients})"
+            )
+        return resolved
+
+    # -- one global round ----------------------------------------------------
+
+    def run_round(self, *, evaluate: bool = True) -> RoundRecord:
+        """Execute local training, aggregation, dissemination and filtering."""
+        config = self.config
+        t = self._round_index
+        bytes_before = self.network.stats.bytes_by_tag.get("upload", 0)
+        messages_before = self.network.stats.messages_by_tag.get("upload", 0)
+
+        # Stage 1+2 (client side): local training, then sparse upload.
+        # With partial participation only a sampled subset trains and
+        # uploads this round; everyone still receives and filters.
+        if config.participation_fraction < 1.0:
+            chosen = self._participation_rng.choice(
+                config.num_clients, size=config.participants_per_round,
+                replace=False,
+            )
+            participants = [self.clients[int(i)] for i in np.sort(chosen)]
+        else:
+            participants = self.clients
+        assignment = self.upload_strategy.assign(
+            len(participants), config.num_servers, rng=self._assignment_rng
+        )
+        for client, targets in zip(participants, assignment):
+            start_vector = (client.model_vector()
+                            if client.client_id in self.byzantine_client_ids
+                            else None)
+            vector = client.local_train(t, config.local_steps)
+            if start_vector is not None:
+                assert self.client_attack is not None
+                vector = self.client_attack.tamper(ClientAttackContext(
+                    round_index=t,
+                    client_id=client.client_id,
+                    honest_update=vector,
+                    global_model=start_vector,
+                    rng=self._client_attack_rngs[client.client_id],
+                ))
+            for server_index in targets:
+                self.network.send(Message(
+                    NodeId.client(client.client_id),
+                    NodeId.server(server_index),
+                    vector,
+                    tag="upload",
+                    round_index=t,
+                ))
+
+        # Stage 2 (server side): honest aggregation on every PS.
+        for server in self.servers:
+            uploads = [m.payload for m in
+                       self.network.receive(NodeId.server(server.server_id))]
+            server.aggregate(uploads)
+        all_aggregates = np.stack(
+            [server.current_aggregate for server in self.servers]
+        )
+
+        # Stage 3: dissemination (tampered on Byzantine PSs) and filtering.
+        train_loss = float(np.mean(
+            [client.last_train_loss for client in participants]
+        ))
+        broadcast_cache: Dict[int, np.ndarray] = {}
+        for client in self.clients:
+            for server in self.servers:
+                model = self._disseminated_model(
+                    server, client.client_id, t, all_aggregates, broadcast_cache
+                )
+                self.network.send(Message(
+                    NodeId.server(server.server_id),
+                    NodeId.client(client.client_id),
+                    model,
+                    tag="dissemination",
+                    round_index=t,
+                ))
+        shared_filtered = self._shared_filtered_model(broadcast_cache)
+        for client in self.clients:
+            received = [
+                message.payload
+                for message in self.network.receive(NodeId.client(client.client_id))
+            ]
+            if shared_filtered is not None:
+                # Every client received the identical stack; adopt the
+                # precomputed filter output instead of recomputing it K times.
+                client.set_model_vector(shared_filtered)
+                client.optimizer.reset_state()
+            elif received:
+                client.filter_received(received, self.filter_rule)
+            else:
+                # Under heavy message loss a client can miss every global
+                # model this round; it then continues from its own local
+                # model (the only state it has) — the same fallback a real
+                # disconnected edge device would use.
+                pass
+
+        record = RoundRecord(
+            round_index=t,
+            train_loss=train_loss,
+            upload_messages=(
+                self.network.stats.messages_by_tag.get("upload", 0)
+                - messages_before
+            ),
+            upload_bytes=(
+                self.network.stats.bytes_by_tag.get("upload", 0) - bytes_before
+            ),
+            dissemination_messages=config.num_clients * config.num_servers,
+        )
+        if evaluate:
+            record.test_loss, record.test_accuracy = self._evaluate()
+        self.history.append(record)
+        self._round_index += 1
+        return record
+
+    def _disseminated_model(self, server: ParameterServer, client_id: int,
+                            round_index: int, all_aggregates: np.ndarray,
+                            cache: Dict[int, np.ndarray]) -> np.ndarray:
+        """Model ``server`` sends to ``client_id``, caching true broadcasts.
+
+        Attacks that are not client-dependent produce one tampered vector
+        per round, so it is computed once and broadcast.
+        """
+        client_dependent = (
+            isinstance(server, ByzantineParameterServer)
+            and server.attack.is_client_dependent
+        )
+        if client_dependent:
+            return server.disseminate(
+                round_index=round_index, client_id=client_id,
+                all_server_aggregates=all_aggregates,
+            )
+        if server.server_id not in cache:
+            cache[server.server_id] = server.disseminate(
+                round_index=round_index, client_id=None,
+                all_server_aggregates=all_aggregates,
+            )
+        return cache[server.server_id]
+
+    def _shared_filtered_model(self, broadcast_cache: Dict[int, np.ndarray]
+                               ) -> Optional[np.ndarray]:
+        """Filter output shared by all clients, when provably identical.
+
+        When every PS broadcast one model this round (no client-dependent
+        attack) and the network cannot drop messages, all clients receive
+        the same ``P`` models and the filter is a pure function of that
+        stack — so it is computed once. Returns ``None`` whenever per-client
+        results could differ (inconsistent attacks or lossy networks).
+        """
+        lossless = (self.network.drop_probability == 0.0
+                    and self.network.drop_rule is None)
+        if not lossless or len(broadcast_cache) != len(self.servers):
+            return None
+        stack = np.stack([
+            broadcast_cache[server.server_id] for server in self.servers
+        ])
+        return self.filter_rule(stack)
+
+    def _evaluate(self) -> "tuple[float, float]":
+        """Mean (loss, accuracy) over the first ``eval_clients`` clients."""
+        losses, accuracies = [], []
+        for client in self.clients[:self.config.eval_clients]:
+            loss, acc = client.evaluate(self.test_dataset)
+            losses.append(loss)
+            accuracies.append(acc)
+        return float(np.mean(losses)), float(np.mean(accuracies))
+
+    # -- persistence -----------------------------------------------------------
+
+    def save_checkpoint(self, path: str) -> None:
+        """Persist the run so :meth:`load_checkpoint` can resume it.
+
+        Stores the current shared global model (client 0's — after a round
+        all clients coincide up to client-dependent attacks), every PS's
+        latest aggregate (the state Backward/Safeguard attacks depend on),
+        and the round index. RNG streams are derived from (seed, names), so
+        a resumed run is reproducible though not bit-identical to an
+        uninterrupted one (the streams do not record their position).
+        """
+        import os
+
+        payload: Dict[str, np.ndarray] = {
+            "round_index": np.asarray(self._round_index),
+            "global_model": self.clients[0].model_vector(),
+        }
+        for server in self.servers:
+            if server.aggregate_history:
+                payload[f"server/{server.server_id}/aggregate"] = \
+                    server.current_aggregate
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        np.savez(path, **payload)
+
+    def load_checkpoint(self, path: str) -> int:
+        """Restore a run saved by :meth:`save_checkpoint`.
+
+        Returns the restored round index. The next :meth:`run_round`
+        continues from there.
+        """
+        import os
+
+        if not os.path.exists(path) and os.path.exists(path + ".npz"):
+            path = path + ".npz"
+        with np.load(path, allow_pickle=False) as archive:
+            round_index = int(archive["round_index"])
+            global_model = archive["global_model"]
+            for server in self.servers:
+                key = f"server/{server.server_id}/aggregate"
+                if key in archive.files:
+                    server.aggregate_history = [archive[key]]
+        for client in self.clients:
+            client.set_model_vector(global_model)
+            client.optimizer.reset_state()
+        self._round_index = round_index
+        return round_index
+
+    # -- multi-round driver ----------------------------------------------------
+
+    def run(self, num_rounds: int, *, eval_every: int = 1,
+            progress: Optional[Callable[[RoundRecord], None]] = None
+            ) -> TrainingHistory:
+        """Run ``num_rounds`` rounds; evaluate every ``eval_every`` rounds.
+
+        The final round is always evaluated. ``progress``, when given, is
+        called with each completed :class:`RoundRecord`.
+        """
+        if num_rounds <= 0:
+            raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
+        if eval_every <= 0:
+            raise ConfigurationError(f"eval_every must be positive, got {eval_every}")
+        for offset in range(num_rounds):
+            is_last = offset == num_rounds - 1
+            should_evaluate = is_last or (self._round_index + 1) % eval_every == 0
+            record = self.run_round(evaluate=should_evaluate)
+            if progress is not None:
+                progress(record)
+        return self.history
+
+
+def make_fedavg_trainer(*, model_factory: ModelFactory,
+                        client_datasets: Sequence[ArrayDataset],
+                        test_dataset: ArrayDataset,
+                        local_steps: int = 3, batch_size: int = 32,
+                        learning_rate: float = 0.05, seed: int = 0,
+                        lr_schedule: Optional[LRSchedule] = None,
+                        flatten_inputs: bool = False) -> FedMSTrainer:
+    """Classical single-PS FedAvg as a special case of the Fed-MS machinery.
+
+    One benign server, no trimming: every client uploads to the unique PS
+    and adopts its average directly — McMahan et al. (2017). Used as the
+    non-Byzantine reference in convergence experiments.
+    """
+    config = FedMSConfig(
+        num_clients=len(client_datasets),
+        num_servers=1,
+        num_byzantine=0,
+        local_steps=local_steps,
+        batch_size=batch_size,
+        learning_rate=learning_rate,
+        trim_ratio=0.0,
+        seed=seed,
+    )
+    return FedMSTrainer(
+        config,
+        model_factory=model_factory,
+        client_datasets=client_datasets,
+        test_dataset=test_dataset,
+        filter_rule=make_rule("mean"),
+        lr_schedule=lr_schedule,
+        flatten_inputs=flatten_inputs,
+    )

@@ -1,0 +1,101 @@
+"""Dataset and mini-batch loading primitives.
+
+A :class:`Dataset` is an indexable collection of ``(x, y)`` pairs backed by
+numpy arrays. :class:`DataLoader` draws the uniformly random mini-batches
+``xi_{t,i}^k`` that the paper's local SGD step samples from each client's
+local dataset ``D_k``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigurationError, ShapeError
+
+__all__ = ["ArrayDataset", "DataLoader", "Subset"]
+
+
+class ArrayDataset:
+    """An in-memory dataset of features and integer labels."""
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray) -> None:
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.shape[0] != labels.shape[0]:
+            raise ShapeError(
+                f"{features.shape[0]} feature rows but {labels.shape[0]} labels"
+            )
+        if labels.ndim != 1:
+            raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+        self.features = features
+        self.labels = labels.astype(np.int64)
+
+    def __len__(self) -> int:
+        return int(self.features.shape[0])
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.features[index], self.labels[index]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes, inferred as ``max label + 1``."""
+        if len(self) == 0:
+            return 0
+        return int(self.labels.max()) + 1
+
+    def subset(self, indices: Sequence[int]) -> "Subset":
+        """A view of this dataset restricted to ``indices``."""
+        return Subset(self, indices)
+
+    def label_histogram(self, num_classes: Optional[int] = None) -> np.ndarray:
+        """Count of samples per class."""
+        classes = num_classes if num_classes is not None else self.num_classes
+        return np.bincount(self.labels, minlength=classes)
+
+
+class Subset(ArrayDataset):
+    """A dataset view over a subset of a parent dataset's rows."""
+
+    def __init__(self, parent: ArrayDataset, indices: Sequence[int]) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= len(parent)):
+            raise ConfigurationError(
+                f"subset indices out of range for dataset of size {len(parent)}"
+            )
+        super().__init__(parent.features[indices], parent.labels[indices])
+        self.indices = indices
+
+
+class DataLoader:
+    """Uniform random mini-batch sampler over a dataset.
+
+    Each call to :meth:`sample_batch` draws a batch with replacement across
+    calls (fresh uniform subset each time), matching the i.i.d. mini-batch
+    assumption (Assumption 3) of the paper's analysis. :meth:`epoch` provides
+    conventional shuffled full-epoch iteration for centralized training.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int, *,
+                 rng: np.random.Generator) -> None:
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        if len(dataset) == 0:
+            raise ConfigurationError("cannot load from an empty dataset")
+        self.dataset = dataset
+        self.batch_size = min(batch_size, len(dataset))
+        self._rng = rng
+
+    def sample_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """One uniformly random mini-batch (without replacement within the batch)."""
+        indices = self._rng.choice(len(self.dataset), size=self.batch_size,
+                                   replace=False)
+        return self.dataset[indices]
+
+    def epoch(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate the dataset once in a fresh shuffled order."""
+        order = self._rng.permutation(len(self.dataset))
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start:start + self.batch_size]
+            yield self.dataset[batch]

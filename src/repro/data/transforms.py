@@ -1,0 +1,144 @@
+"""Data preprocessing and augmentation transforms.
+
+Composable ``(batch) -> batch`` callables for image datasets: channel-wise
+normalization (fit on the training split), random crops with padding, and
+horizontal flips — the standard CIFAR-10 training pipeline. Deterministic
+transforms apply anywhere; stochastic ones take a generator at construction
+so that augmentation is reproducible per consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..common.errors import ConfigurationError, ShapeError
+
+__all__ = [
+    "Transform",
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "Flatten",
+    "fit_normalizer",
+]
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch)
+        return batch
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class Normalize:
+    """Channel-wise standardization of ``(N, C, H, W)`` batches."""
+
+    def __init__(self, mean: np.ndarray, std: np.ndarray) -> None:
+        mean = np.asarray(mean, dtype=np.float64)
+        std = np.asarray(std, dtype=np.float64)
+        if mean.ndim != 1 or mean.shape != std.shape:
+            raise ConfigurationError(
+                f"mean/std must be matching 1-D arrays, got {mean.shape} "
+                f"and {std.shape}"
+            )
+        if np.any(std <= 0):
+            raise ConfigurationError("std entries must be positive")
+        self.mean = mean
+        self.std = std
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4 or batch.shape[1] != self.mean.size:
+            raise ShapeError(
+                f"expected (N, {self.mean.size}, H, W), got {batch.shape}"
+            )
+        return (batch - self.mean[None, :, None, None]) \
+            / self.std[None, :, None, None]
+
+    def __repr__(self) -> str:
+        return f"Normalize(channels={self.mean.size})"
+
+
+def fit_normalizer(images: np.ndarray) -> Normalize:
+    """Build a :class:`Normalize` from a training batch's statistics."""
+    if images.ndim != 4:
+        raise ShapeError(f"expected (N, C, H, W), got {images.shape}")
+    mean = images.mean(axis=(0, 2, 3))
+    std = images.std(axis=(0, 2, 3))
+    std = np.where(std > 0, std, 1.0)
+    return Normalize(mean, std)
+
+
+class RandomHorizontalFlip:
+    """Mirror each image independently with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, *,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ShapeError(f"expected (N, C, H, W), got {batch.shape}")
+        flips = self._rng.random(batch.shape[0]) < self.p
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+    def __repr__(self) -> str:
+        return f"RandomHorizontalFlip(p={self.p})"
+
+
+class RandomCrop:
+    """Zero-pad by ``padding`` then crop back to the original size at a
+    random offset per image — the standard CIFAR augmentation."""
+
+    def __init__(self, padding: int = 4, *,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if padding <= 0:
+            raise ConfigurationError(f"padding must be positive, got {padding}")
+        self.padding = int(padding)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ShapeError(f"expected (N, C, H, W), got {batch.shape}")
+        n, _, height, width = batch.shape
+        pad = self.padding
+        padded = np.pad(batch, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        rows = self._rng.integers(0, 2 * pad + 1, size=n)
+        cols = self._rng.integers(0, 2 * pad + 1, size=n)
+        out = np.empty_like(batch)
+        for index in range(n):
+            out[index] = padded[index, :,
+                                rows[index]:rows[index] + height,
+                                cols[index]:cols[index] + width]
+        return out
+
+    def __repr__(self) -> str:
+        return f"RandomCrop(padding={self.padding})"
+
+
+class Flatten:
+    """Reshape image batches ``(N, C, H, W)`` to feature rows ``(N, CHW)``."""
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        return batch.reshape(batch.shape[0], -1)
+
+    def __repr__(self) -> str:
+        return "Flatten()"

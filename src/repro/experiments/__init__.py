@@ -1,0 +1,50 @@
+"""Runnable reproductions of the paper's figures and claims."""
+
+from .ascii_plot import ascii_curve, ascii_curves
+from .paper import (
+    PAPER_CLAIMS,
+    PAPER_FIG2_FINAL_ACCURACY,
+    PAPER_FIG3_VANILLA_FINAL,
+    PAPER_FIG5_FEDMS_FINAL,
+)
+from .replication import ReplicatedCurve, ReplicationSummary, replicate
+from .results import Curve, FigureResult
+from .specs import (
+    run_comm_cost,
+    run_convergence_rate,
+    run_fig2_attack_panel,
+    run_fig3_epsilon_panel,
+    run_fig4_heterogeneity,
+    run_fig5_alpha_panel,
+    run_filter_ablation,
+)
+from .tables import format_curves, format_figure, format_rows
+from .workload import SCALES, BenchScale, FigureWorkload, current_scale
+
+__all__ = [
+    "BenchScale",
+    "SCALES",
+    "current_scale",
+    "FigureWorkload",
+    "Curve",
+    "FigureResult",
+    "ReplicatedCurve",
+    "ReplicationSummary",
+    "replicate",
+    "run_fig2_attack_panel",
+    "run_fig3_epsilon_panel",
+    "run_fig4_heterogeneity",
+    "run_fig5_alpha_panel",
+    "run_comm_cost",
+    "run_convergence_rate",
+    "run_filter_ablation",
+    "ascii_curve",
+    "ascii_curves",
+    "format_curves",
+    "format_rows",
+    "format_figure",
+    "PAPER_CLAIMS",
+    "PAPER_FIG2_FINAL_ACCURACY",
+    "PAPER_FIG3_VANILLA_FINAL",
+    "PAPER_FIG5_FEDMS_FINAL",
+]

@@ -1,0 +1,124 @@
+"""Multi-seed replication of figure experiments.
+
+A single federated run is noisy; the paper reports single curves, but a
+careful reproduction should know the seed-to-seed spread. These helpers run
+a ``seed -> FigureResult`` experiment across several seeds and aggregate
+the curves into mean +/- standard-deviation summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from .results import FigureResult
+
+__all__ = ["ReplicatedCurve", "ReplicationSummary", "replicate"]
+
+
+@dataclass
+class ReplicatedCurve:
+    """Per-round mean/std of one labelled curve across seeds."""
+
+    label: str
+    rounds: List[int]
+    mean_accuracies: List[float]
+    std_accuracies: List[float]
+    num_seeds: int
+
+    @property
+    def final_mean(self) -> float:
+        return self.mean_accuracies[-1]
+
+    @property
+    def final_std(self) -> float:
+        return self.std_accuracies[-1]
+
+    def final_interval(self, *, num_std: float = 2.0) -> "tuple[float, float]":
+        """``mean +/- num_std * std`` at the last evaluated round."""
+        half_width = num_std * self.final_std
+        return (self.final_mean - half_width, self.final_mean + half_width)
+
+
+@dataclass
+class ReplicationSummary:
+    """All curves of a replicated figure, plus the raw per-seed results."""
+
+    figure_id: str
+    seeds: List[int]
+    curves: List[ReplicatedCurve]
+    raw_results: List[FigureResult]
+
+    def curve(self, label: str) -> ReplicatedCurve:
+        for curve in self.curves:
+            if curve.label == label:
+                return curve
+        raise KeyError(
+            f"no curve {label!r}; have {[c.label for c in self.curves]}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "figure_id": self.figure_id,
+            "seeds": self.seeds,
+            "curves": [
+                {
+                    "label": c.label,
+                    "rounds": c.rounds,
+                    "mean_accuracies": c.mean_accuracies,
+                    "std_accuracies": c.std_accuracies,
+                }
+                for c in self.curves
+            ],
+        }
+
+
+def replicate(experiment: Callable[[int], FigureResult],
+              seeds: Sequence[int]) -> ReplicationSummary:
+    """Run ``experiment(seed)`` for every seed and aggregate the curves.
+
+    Every seed's result must contain the same curve labels over the same
+    evaluation rounds (guaranteed when the experiment only varies its seed).
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError(f"duplicate seeds in {seeds}")
+
+    results = [experiment(seed) for seed in seeds]
+    first = results[0]
+    labels = [curve.label for curve in first.curves]
+    for result in results[1:]:
+        if [c.label for c in result.curves] != labels:
+            raise ConfigurationError(
+                "experiment produced different curve labels across seeds"
+            )
+        for reference, other in zip(first.curves, result.curves):
+            if reference.rounds != other.rounds:
+                raise ConfigurationError(
+                    f"curve {reference.label!r} evaluated at different "
+                    f"rounds across seeds"
+                )
+
+    replicated: List[ReplicatedCurve] = []
+    for index, label in enumerate(labels):
+        stacked = np.array([
+            result.curves[index].accuracies for result in results
+        ])
+        replicated.append(ReplicatedCurve(
+            label=label,
+            rounds=list(first.curves[index].rounds),
+            mean_accuracies=stacked.mean(axis=0).tolist(),
+            std_accuracies=stacked.std(axis=0).tolist(),
+            num_seeds=len(seeds),
+        ))
+    return ReplicationSummary(
+        figure_id=first.figure_id,
+        seeds=seeds,
+        curves=replicated,
+        raw_results=results,
+    )

@@ -1,0 +1,66 @@
+"""Result containers for the figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Curve", "FigureResult"]
+
+
+@dataclass
+class Curve:
+    """One algorithm's test-accuracy trajectory."""
+
+    label: str
+    rounds: List[int]
+    accuracies: List[float]
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.accuracies:
+            raise ValueError(f"curve {self.label!r} has no measurements")
+        return self.accuracies[-1]
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.accuracies:
+            raise ValueError(f"curve {self.label!r} has no measurements")
+        return max(self.accuracies)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "rounds": self.rounds,
+            "accuracies": self.accuracies,
+            "final_accuracy": self.final_accuracy,
+        }
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: its identity, parameters and curves/rows."""
+
+    figure_id: str
+    params: Dict[str, object] = field(default_factory=dict)
+    curves: List[Curve] = field(default_factory=list)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: Optional[str] = None
+
+    def curve(self, label: str) -> Curve:
+        for curve in self.curves:
+            if curve.label == label:
+                return curve
+        raise KeyError(
+            f"no curve {label!r} in {self.figure_id}; "
+            f"have {[c.label for c in self.curves]}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "figure_id": self.figure_id,
+            "params": self.params,
+            "curves": [c.to_dict() for c in self.curves],
+            "rows": self.rows,
+            "notes": self.notes,
+        }

@@ -1,0 +1,147 @@
+"""Shared workload construction for the figure reproductions.
+
+Every evaluation figure in the paper uses the same substrate: CIFAR-10
+partitioned across ``K = 50`` clients by a Dirichlet draw, ``P = 10`` edge
+PSs, ``E = 3`` local iterations. This module builds that workload (on the
+synthetic CIFAR-10 stand-in, or the real one when available on disk) at one
+of three scales:
+
+* ``smoke`` — seconds-long runs for CI;
+* ``reduced`` — the paper's K/P topology with a smaller model and fewer
+  rounds (default for ``benchmarks/``);
+* ``paper`` — the full Table II configuration (60 rounds).
+
+Select the scale with the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.rng import RngFactory
+from ..data import (
+    ArrayDataset,
+    Subset,
+    cifar10_available,
+    dirichlet_partition,
+    load_cifar10,
+    make_synthetic_cifar10,
+)
+from ..models import MLP
+from ..nn.module import Module
+
+__all__ = ["BenchScale", "SCALES", "current_scale", "FigureWorkload"]
+
+SCALE_ENV = "REPRO_BENCH_SCALE"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Size knobs for a figure reproduction."""
+
+    name: str
+    num_train: int
+    num_test: int
+    num_clients: int
+    num_servers: int
+    num_rounds: int
+    eval_every: int
+    hidden_width: int
+    batch_size: int
+
+    @property
+    def description(self) -> str:
+        return (f"{self.name}: K={self.num_clients}, P={self.num_servers}, "
+                f"{self.num_rounds} rounds, {self.num_train} train samples")
+
+
+SCALES = {
+    "smoke": BenchScale(
+        name="smoke", num_train=600, num_test=200, num_clients=10,
+        num_servers=5, num_rounds=8, eval_every=4, hidden_width=16,
+        batch_size=16,
+    ),
+    "reduced": BenchScale(
+        name="reduced", num_train=2500, num_test=500, num_clients=50,
+        num_servers=10, num_rounds=30, eval_every=5, hidden_width=32,
+        batch_size=32,
+    ),
+    "paper": BenchScale(
+        name="paper", num_train=5000, num_test=1000, num_clients=50,
+        num_servers=10, num_rounds=60, eval_every=5, hidden_width=64,
+        batch_size=32,
+    ),
+}
+
+
+def current_scale() -> BenchScale:
+    """The scale selected by ``REPRO_BENCH_SCALE`` (default ``reduced``)."""
+    name = os.environ.get(SCALE_ENV, "reduced")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"{SCALE_ENV}={name!r} is not one of {sorted(SCALES)}"
+        ) from None
+
+
+class FigureWorkload:
+    """The common data + model workload behind Figures 2, 3 and 5.
+
+    Builds flattened train/test datasets once; per-experiment Dirichlet
+    partitions are derived with independent named streams so that two
+    experiments at different ``alpha`` do not share randomness.
+    """
+
+    NUM_CLASSES = 10
+    INPUT_DIM = 3 * 32 * 32
+
+    def __init__(self, scale: BenchScale, *, seed: int = 0) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.rngs = RngFactory(seed)
+        if cifar10_available():
+            train, test = load_cifar10()
+            # Trim the real dataset to the configured scale.
+            train = Subset(train, np.arange(min(scale.num_train, len(train))))
+            test = Subset(test, np.arange(min(scale.num_test, len(test))))
+            self.source = "cifar10"
+        else:
+            train, test = make_synthetic_cifar10(
+                scale.num_train, scale.num_test, rng=self.rngs.make("data")
+            )
+            self.source = "synthetic"
+        self.train = ArrayDataset(
+            train.features.reshape(len(train), -1), train.labels
+        )
+        self.test = ArrayDataset(
+            test.features.reshape(len(test), -1), test.labels
+        )
+
+    def partitions(self, alpha: float, *, tag: str = "") -> List[ArrayDataset]:
+        """A Dirichlet(``alpha``) partition across ``K`` clients."""
+        return dirichlet_partition(
+            self.train, self.scale.num_clients, alpha=alpha,
+            rng=self.rngs.make(f"partition/{alpha}/{tag}"),
+            min_samples_per_client=2,
+        )
+
+    def model_factory(self) -> Callable[[np.random.Generator], Module]:
+        """Factory building the (scaled) training model.
+
+        The paper trains MobileNet V2; at benchmark scale we use an MLP on
+        flattened pixels — see DESIGN.md, "Substitutions". Pass
+        ``examples/attack_showdown.py --model smallcnn`` for the
+        convolutional configuration.
+        """
+        hidden = self.scale.hidden_width
+
+        def build(rng: np.random.Generator) -> Module:
+            return MLP(self.INPUT_DIM, (hidden,), self.NUM_CLASSES, rng=rng)
+
+        return build

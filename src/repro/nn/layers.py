@@ -1,0 +1,592 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Every layer caches the minimum state its backward pass needs during
+``forward``; calling ``backward`` before ``forward`` raises
+:class:`~repro.common.errors.ProtocolError`. All layers are gradient-checked
+in ``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigurationError, ProtocolError, ShapeError
+from . import init
+from .functional import col2im_windows, conv_output_size, im2col_windows
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "GroupNorm",
+    "ReLU",
+    "ReLU6",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+]
+
+
+def _require_cache(cache, layer: Module):
+    if cache is None:
+        raise ProtocolError(
+            f"{type(layer).__name__}.backward called before forward"
+        )
+    return cache
+
+
+class Linear(Module):
+    """Affine transform ``y = x @ W + b`` with ``W`` of shape ``(in, out)``."""
+
+    def __init__(self, in_features: int, out_features: int, *, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError(
+                f"Linear dimensions must be positive, got ({in_features}, {out_features})"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.he_normal(rng, (in_features, out_features)))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected (N, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = _require_cache(self._input, self)
+        self.weight.grad += x.T @ grad_output
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data.T
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution with square stride/padding, via im2col + matmul.
+
+    Weight shape is ``(out_channels, in_channels, KH, KW)``.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 *, stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ConfigurationError("Conv2d sizes must be positive")
+        if padding < 0:
+            raise ConfigurationError(f"padding must be >= 0, got {padding}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.he_normal(rng, (out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv2d expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        k = self.kernel_size
+        windows = im2col_windows(x, (k, k), self.stride, self.padding)
+        # windows: (N, C, KH, KW, OH, OW); weight: (O, C, KH, KW)
+        out = np.einsum("ncabij,ocab->noij", windows, self.weight.data, optimize=True)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None, None]
+        self._cache = (windows, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        windows, x_shape = _require_cache(self._cache, self)
+        k = self.kernel_size
+        self.weight.grad += np.einsum(
+            "ncabij,noij->ocab", windows, grad_output, optimize=True
+        )
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        grad_windows = np.einsum(
+            "ocab,noij->ncabij", self.weight.data, grad_output, optimize=True
+        )
+        return col2im_windows(grad_windows, x_shape, (k, k), self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise 2-D convolution (one filter per channel, no channel mixing).
+
+    This is the ``groups == in_channels`` convolution that MobileNet V2's
+    inverted residual blocks are built from. Weight shape is
+    ``(channels, KH, KW)``.
+    """
+
+    def __init__(self, channels: int, kernel_size: int, *, stride: int = 1,
+                 padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if min(channels, kernel_size, stride) <= 0:
+            raise ConfigurationError("DepthwiseConv2d sizes must be positive")
+        if padding < 0:
+            raise ConfigurationError(f"padding must be >= 0, got {padding}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        # Treat each depthwise filter as a 1-in/1-out conv for fan-in purposes.
+        scale = np.sqrt(2.0 / (kernel_size * kernel_size))
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(init.zeros((channels,))) if bias else None
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ShapeError(
+                f"DepthwiseConv2d expected (N, {self.channels}, H, W), got {x.shape}"
+            )
+        k = self.kernel_size
+        windows = im2col_windows(x, (k, k), self.stride, self.padding)
+        out = np.einsum("ncabij,cab->ncij", windows, self.weight.data, optimize=True)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None, None]
+        self._cache = (windows, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        windows, x_shape = _require_cache(self._cache, self)
+        k = self.kernel_size
+        self.weight.grad += np.einsum(
+            "ncabij,ncij->cab", windows, grad_output, optimize=True
+        )
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        grad_windows = np.einsum(
+            "cab,ncij->ncabij", self.weight.data, grad_output, optimize=True
+        )
+        return col2im_windows(grad_windows, x_shape, (k, k), self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"DepthwiseConv2d({self.channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding})"
+        )
+
+
+class _BatchNorm(Module):
+    """Shared implementation of 1-D/2-D batch normalization."""
+
+    def __init__(self, num_features: int, *, eps: float = 1e-5,
+                 momentum: float = 0.1) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ConfigurationError(f"num_features must be positive, got {num_features}")
+        if not 0.0 < momentum <= 1.0:
+            raise ConfigurationError(f"momentum must be in (0, 1], got {momentum}")
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+        self._cache = None
+
+    # Subclasses define which axes are reduced and how per-channel vectors
+    # broadcast against the input.
+    _reduce_axes: Tuple[int, ...] = ()
+
+    def _expand(self, vec: np.ndarray, ndim: int) -> np.ndarray:
+        shape = [1] * ndim
+        shape[1] = self.num_features
+        return vec.reshape(shape)
+
+    def _check_input(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._check_input(x)
+        axes = self._reduce_axes
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            count = x.size // self.num_features
+            # Track statistics with an exponential moving average, using the
+            # unbiased variance for the running estimate (matching the
+            # convention of mainstream frameworks).
+            unbiased = var * count / max(count - 1, 1)
+            new_mean = (1 - self.momentum) * self._buffers["running_mean"] \
+                + self.momentum * mean
+            new_var = (1 - self.momentum) * self._buffers["running_var"] \
+                + self.momentum * unbiased
+            self.set_buffer("running_mean", new_mean)
+            self.set_buffer("running_var", new_var)
+        else:
+            mean = self._buffers["running_mean"]
+            var = self._buffers["running_var"]
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._expand(mean, x.ndim)) * self._expand(inv_std, x.ndim)
+        out = x_hat * self._expand(self.weight.data, x.ndim) \
+            + self._expand(self.bias.data, x.ndim)
+        self._cache = (x_hat, inv_std, x.ndim, x.size // self.num_features,
+                       self.training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_hat, inv_std, ndim, count, was_training = _require_cache(self._cache, self)
+        axes = self._reduce_axes
+        self.weight.grad += (grad_output * x_hat).sum(axis=axes)
+        self.bias.grad += grad_output.sum(axis=axes)
+        gamma = self._expand(self.weight.data, ndim)
+        grad_xhat = grad_output * gamma
+        if not was_training:
+            # In eval mode the normalization statistics are constants.
+            return grad_xhat * self._expand(inv_std, ndim)
+        sum_g = grad_xhat.sum(axis=axes)
+        sum_gx = (grad_xhat * x_hat).sum(axis=axes)
+        return (
+            grad_xhat
+            - self._expand(sum_g, ndim) / count
+            - x_hat * self._expand(sum_gx, ndim) / count
+        ) * self._expand(inv_std, ndim)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_features})"
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalization over ``(N, F)`` inputs."""
+
+    _reduce_axes = (0,)
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm1d expected (N, {self.num_features}), got {x.shape}"
+            )
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalization over ``(N, C, H, W)`` inputs, per channel."""
+
+    _reduce_axes = (0, 2, 3)
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm2d expected (N, {self.num_features}, H, W), got {x.shape}"
+            )
+
+
+class GroupNorm(Module):
+    """Group normalization (Wu & He, 2018) over ``(N, C, H, W)`` inputs.
+
+    Normalizes each sample's channels within ``num_groups`` groups, with no
+    batch statistics — which makes it the preferred normalization for
+    federated learning on non-IID data, where per-client batch statistics
+    diverge and averaging BatchNorm buffers degrades the global model.
+    """
+
+    def __init__(self, num_groups: int, num_channels: int, *,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_groups <= 0 or num_channels <= 0:
+            raise ConfigurationError(
+                f"groups/channels must be positive, got "
+                f"({num_groups}, {num_channels})"
+            )
+        if num_channels % num_groups != 0:
+            raise ConfigurationError(
+                f"num_channels={num_channels} not divisible by "
+                f"num_groups={num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = float(eps)
+        self.weight = Parameter(init.ones((num_channels,)))
+        self.bias = Parameter(init.zeros((num_channels,)))
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ShapeError(
+                f"GroupNorm expected (N, {self.num_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        n, c, h, w = x.shape
+        grouped = x.reshape(n, self.num_groups, -1)
+        mean = grouped.mean(axis=2, keepdims=True)
+        var = grouped.var(axis=2, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = ((grouped - mean) * inv_std).reshape(n, c, h, w)
+        out = x_hat * self.weight.data[None, :, None, None] \
+            + self.bias.data[None, :, None, None]
+        self._cache = (x_hat, inv_std, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_hat, inv_std, shape = _require_cache(self._cache, self)
+        n, c, h, w = shape
+        self.weight.grad += (grad_output * x_hat).sum(axis=(0, 2, 3))
+        self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        grad_xhat = grad_output * self.weight.data[None, :, None, None]
+        grouped_grad = grad_xhat.reshape(n, self.num_groups, -1)
+        grouped_xhat = x_hat.reshape(n, self.num_groups, -1)
+        count = grouped_grad.shape[2]
+        sum_g = grouped_grad.sum(axis=2, keepdims=True)
+        sum_gx = (grouped_grad * grouped_xhat).sum(axis=2, keepdims=True)
+        grad_grouped = (
+            grouped_grad - sum_g / count - grouped_xhat * sum_gx / count
+        ) * inv_std
+        return grad_grouped.reshape(shape)
+
+    def __repr__(self) -> str:
+        return f"GroupNorm({self.num_groups}, {self.num_channels})"
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        mask = _require_cache(self._mask, self)
+        return grad_output * mask
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6 — the activation used throughout MobileNet V2."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = (x > 0) & (x < 6.0)
+        return np.clip(x, 0.0, 6.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        mask = _require_cache(self._mask, self)
+        return grad_output * mask
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        mask = _require_cache(self._mask, self)
+        return np.where(mask, grad_output, self.negative_slope * grad_output)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        out = _require_cache(self._output, self)
+        return grad_output * (1.0 - out * out)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = 1.0 / (1.0 + np.exp(-x))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        out = _require_cache(self._output, self)
+        return grad_output * out * (1.0 - out)
+
+
+class MaxPool2d(Module):
+    """Max pooling with square kernel and stride."""
+
+    def __init__(self, kernel_size: int, *, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ConfigurationError(f"kernel_size must be positive, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        windows = im2col_windows(x, (k, k), self.stride, self.padding)
+        n, c, _, _, oh, ow = windows.shape
+        flat = windows.reshape(n, c, k * k, oh, ow)
+        argmax = flat.argmax(axis=2)
+        out = np.take_along_axis(flat, argmax[:, :, None], axis=2)[:, :, 0]
+        self._cache = (argmax, x.shape, (n, c, oh, ow))
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        argmax, x_shape, out_shape = _require_cache(self._cache, self)
+        n, c, oh, ow = out_shape
+        k = self.kernel_size
+        grad_flat = np.zeros((n, c, k * k, oh, ow), dtype=grad_output.dtype)
+        np.put_along_axis(grad_flat, argmax[:, :, None], grad_output[:, :, None], axis=2)
+        grad_windows = grad_flat.reshape(n, c, k, k, oh, ow)
+        return col2im_windows(grad_windows, x_shape, (k, k), self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average pooling with square kernel and stride."""
+
+    def __init__(self, kernel_size: int, *, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ConfigurationError(f"kernel_size must be positive, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        windows = im2col_windows(x, (k, k), self.stride, self.padding)
+        self._cache = x.shape
+        return windows.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_shape = _require_cache(self._cache, self)
+        k = self.kernel_size
+        per_cell = grad_output / (k * k)
+        grad_windows = np.broadcast_to(
+            per_cell[:, :, None, None], per_cell.shape[:2] + (k, k) + per_cell.shape[2:]
+        )
+        return col2im_windows(
+            np.ascontiguousarray(grad_windows), x_shape, (k, k), self.stride, self.padding
+        )
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions: ``(N, C, H, W) -> (N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"expected (N, C, H, W), got {x.shape}")
+        self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        shape = _require_cache(self._input_shape, self)
+        n, c, h, w = shape
+        grad = grad_output[:, :, None, None] / (h * w)
+        return np.broadcast_to(grad, shape).copy()
+
+
+class Flatten(Module):
+    """Reshape ``(N, ...)`` to ``(N, prod(...))``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        shape = _require_cache(self._input_shape, self)
+        return grad_output.reshape(shape)
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, *, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,98 @@
+"""Classification metrics beyond plain accuracy.
+
+Used by the evaluation paths of examples and extension experiments; the
+paper reports only top-1 accuracy, but per-class behavior is how one
+diagnoses *which* classes an attack destroys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..common.errors import ShapeError
+
+__all__ = [
+    "confusion_matrix",
+    "per_class_accuracy",
+    "top_k_accuracy",
+    "macro_f1",
+    "classification_report",
+]
+
+
+def _check(logits: np.ndarray, labels: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be (N, C), got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"labels must be ({logits.shape[0]},), got {labels.shape}"
+        )
+    return logits, labels
+
+
+def confusion_matrix(logits: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``matrix[true, predicted]`` counts, shape ``(C, C)``."""
+    logits, labels = _check(logits, labels)
+    predictions = logits.argmax(axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(logits: np.ndarray, labels: np.ndarray,
+                       num_classes: int) -> np.ndarray:
+    """Recall per class; ``nan`` for classes absent from ``labels``."""
+    matrix = confusion_matrix(logits, labels, num_classes)
+    totals = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of rows whose true label is among the top-``k`` scores."""
+    logits, labels = _check(logits, labels)
+    if not 1 <= k <= logits.shape[1]:
+        raise ShapeError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    top_k = np.argsort(logits, axis=1)[:, -k:]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def macro_f1(logits: np.ndarray, labels: np.ndarray,
+             num_classes: int) -> float:
+    """Unweighted mean of per-class F1 scores (absent classes skipped)."""
+    matrix = confusion_matrix(logits, labels, num_classes)
+    scores = []
+    for cls in range(num_classes):
+        true_positive = matrix[cls, cls]
+        support = matrix[cls].sum()
+        predicted = matrix[:, cls].sum()
+        if support == 0:
+            continue
+        precision = true_positive / predicted if predicted > 0 else 0.0
+        recall = true_positive / support
+        if precision + recall == 0:
+            scores.append(0.0)
+        else:
+            scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def classification_report(logits: np.ndarray, labels: np.ndarray,
+                          num_classes: int) -> Dict[str, object]:
+    """Accuracy, macro F1, top-5 (when applicable) and per-class recall."""
+    logits, labels = _check(logits, labels)
+    report: Dict[str, object] = {
+        "accuracy": float((logits.argmax(axis=1) == labels).mean()),
+        "macro_f1": macro_f1(logits, labels, num_classes),
+        "per_class_accuracy": per_class_accuracy(
+            logits, labels, num_classes).tolist(),
+    }
+    if logits.shape[1] >= 5:
+        report["top5_accuracy"] = top_k_accuracy(logits, labels, 5)
+    return report

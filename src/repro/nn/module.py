@@ -1,0 +1,272 @@
+"""Module and parameter abstractions for the numpy NN substrate.
+
+The substrate is deliberately layer-based rather than tape-based: every
+:class:`Module` implements an explicit ``forward`` that caches whatever its
+``backward`` needs, and ``backward`` receives the gradient of the loss with
+respect to the module output and returns the gradient with respect to the
+module input, accumulating parameter gradients along the way. This keeps the
+computation deterministic and easy to verify with numerical gradient checks
+(see :mod:`repro.nn.gradcheck`).
+
+Modules register their parameters, buffers and submodules in insertion order,
+which gives every model a stable, documented parameter ordering -- the
+property the federated-learning layer relies on when it flattens a model into
+a single vector for upload/aggregation (:mod:`repro.nn.serialization`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import ShapeError
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        The parameter value, a ``float64`` ndarray.
+    grad:
+        The accumulated gradient, same shape as ``data``. Reset with
+        :meth:`zero_grad`.
+    """
+
+    __slots__ = ("data", "grad")
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero in place."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter`, buffer (via :meth:`register_buffer`)
+    and :class:`Module` attributes in ``__init__``; assignment order defines
+    traversal order. They then implement :meth:`forward` and
+    :meth:`backward`.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- registration ------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        else:
+            # Re-assigning a registered name with a non-registrable value
+            # (e.g. ``self.weight = None``) removes the registration.
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable tensor that is part of module state.
+
+        Buffers (e.g. batch-norm running statistics) are saved/loaded with
+        the model and, by default, travel with the flattened parameter
+        vector used for federated aggregation.
+        """
+        array = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite a previously registered buffer, keeping its shape."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r} on {type(self).__name__}")
+        current = self._buffers[name]
+        array = np.asarray(value, dtype=np.float64)
+        if array.shape != current.shape:
+            raise ShapeError(
+                f"buffer {name!r} has shape {current.shape}, got {array.shape}"
+            )
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
+
+    # -- traversal ---------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs in registration order."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its submodules, in order."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs in registration order."""
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth-first."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(param.size for param in self.parameters())
+
+    # -- state dict --------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy all parameters and buffers into a flat ``name -> array`` dict."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[f"buffer:{name}"] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters and buffers from :meth:`state_dict` output."""
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"state dict missing parameter {name!r}")
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ShapeError(
+                    f"parameter {name!r} has shape {param.data.shape}, "
+                    f"state has {value.shape}"
+                )
+            param.data[...] = value
+        buffer_owners = self._buffer_owners()
+        for name, _ in self.named_buffers():
+            key = f"buffer:{name}"
+            if key not in state:
+                raise KeyError(f"state dict missing buffer {name!r}")
+            owner, local_name = buffer_owners[name]
+            owner.set_buffer(local_name, state[key])
+
+    def _buffer_owners(self, prefix: str = "") -> Dict[str, Tuple["Module", str]]:
+        """Map dotted buffer names to their (owning module, local name)."""
+        owners: Dict[str, Tuple[Module, str]] = {}
+        for name in self._buffers:
+            owners[f"{prefix}{name}"] = (self, name)
+        for child_name, child in self._modules.items():
+            owners.update(child._buffer_owners(prefix=f"{prefix}{child_name}."))
+        return owners
+
+    # -- training mode -----------------------------------------------------
+
+    def train(self) -> "Module":
+        """Put this module and all submodules in training mode."""
+        for module in self.modules():
+            object.__setattr__(module, "training", True)
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module and all submodules in inference mode."""
+        for module in self.modules():
+            object.__setattr__(module, "training", False)
+        return self
+
+    def zero_grad(self) -> None:
+        """Reset the gradient of every parameter to zero."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- compute -----------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the module output; must be overridden."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output``; must be overridden.
+
+        Returns the gradient with respect to the input of the most recent
+        :meth:`forward` call and accumulates parameter gradients.
+        """
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:
+        child_names = ", ".join(self._modules)
+        return f"{type(self).__name__}({child_names})"
+
+
+class Sequential(Module):
+    """Compose modules in a fixed order.
+
+    >>> import numpy as np
+    >>> from repro.nn.layers import Linear, ReLU
+    >>> from repro.common.rng import RngFactory
+    >>> rng = RngFactory(0).make("init")
+    >>> net = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+    >>> net(np.zeros((3, 4))).shape
+    (3, 2)
+    """
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layer_order: List[str] = []
+        for index, layer in enumerate(layers):
+            name = f"layer{index}"
+            setattr(self, name, layer)
+            self._layer_order.append(name)
+
+    @property
+    def layers(self) -> List[Module]:
+        return [getattr(self, name) for name in self._layer_order]
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add ``layer`` to the end of the pipeline."""
+        name = f"layer{len(self._layer_order)}"
+        setattr(self, name, layer)
+        self._layer_order.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._layer_order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output

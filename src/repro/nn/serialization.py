@@ -1,0 +1,95 @@
+"""Flat-vector views of model state.
+
+Everything the federated layer exchanges — client uploads, PS aggregates,
+Byzantine tampering, the trimmed-mean filter — operates on a single 1-D
+``float64`` vector per model. These helpers define that vector layout:
+all trainable parameters in registration order, optionally followed by all
+buffers (batch-norm running statistics) in registration order.
+
+Including the buffers matters for FedAvg-style training: if running
+statistics were not averaged along with the weights, every client would
+evaluate the shared weights under different normalization statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..common.errors import ShapeError
+from .module import Module
+
+__all__ = [
+    "vector_size",
+    "to_vector",
+    "from_vector",
+    "gradient_vector",
+    "clone_module_state",
+]
+
+
+def _chunks(module: Module, include_buffers: bool) -> List[np.ndarray]:
+    arrays = [param.data for param in module.parameters()]
+    if include_buffers:
+        arrays.extend(buf for _, buf in module.named_buffers())
+    return arrays
+
+
+def vector_size(module: Module, *, include_buffers: bool = True) -> int:
+    """Length of the flat vector for ``module``."""
+    return sum(int(a.size) for a in _chunks(module, include_buffers))
+
+
+def to_vector(module: Module, *, include_buffers: bool = True) -> np.ndarray:
+    """Copy the model state into a flat ``float64`` vector."""
+    arrays = _chunks(module, include_buffers)
+    if not arrays:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([a.ravel() for a in arrays]).astype(np.float64, copy=False)
+
+
+def from_vector(module: Module, vector: np.ndarray, *,
+                include_buffers: bool = True) -> None:
+    """Load a flat vector produced by :func:`to_vector` back into ``module``."""
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    expected = vector_size(module, include_buffers=include_buffers)
+    if vector.size != expected:
+        raise ShapeError(
+            f"vector has {vector.size} entries, model expects {expected}"
+        )
+    offset = 0
+    for param in module.parameters():
+        size = param.size
+        param.data[...] = vector[offset:offset + size].reshape(param.data.shape)
+        offset += size
+    if include_buffers:
+        owners = module._buffer_owners()
+        for name, buf in module.named_buffers():
+            size = int(buf.size)
+            owner, local_name = owners[name]
+            owner.set_buffer(
+                local_name, vector[offset:offset + size].reshape(buf.shape)
+            )
+            offset += size
+
+
+def gradient_vector(module: Module) -> np.ndarray:
+    """Concatenate all parameter gradients into one flat vector.
+
+    Buffers have no gradients, so this vector has length
+    ``vector_size(module, include_buffers=False)``.
+    """
+    grads = [param.grad.ravel() for param in module.parameters()]
+    if not grads:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(grads).astype(np.float64, copy=False)
+
+
+def clone_module_state(source: Module, target: Module) -> None:
+    """Copy all parameters and buffers from ``source`` into ``target``.
+
+    The two modules must have identical architectures (same state-dict keys
+    and shapes).
+    """
+    target.load_state_dict(source.state_dict())

@@ -1,0 +1,24 @@
+"""Edge-network simulation: message transport, accounting, scheduling."""
+
+from .latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+    round_time,
+)
+from .network import Message, Network, NodeId, TrafficStats
+from .scheduler import RoundScheduler
+
+__all__ = [
+    "NodeId",
+    "Message",
+    "TrafficStats",
+    "Network",
+    "RoundScheduler",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "round_time",
+]

@@ -1,0 +1,143 @@
+"""Link-latency models and round-time accounting.
+
+The paper's synchronous rounds hide a real cost: every stage waits for its
+slowest participant. These models assign per-message transfer times so the
+simulation can report *simulated wall-clock* per round for each upload
+strategy — e.g. full upload not only sends P times the bytes but also
+suffers the max over P times as many link draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "round_time",
+]
+
+
+class LatencyModel:
+    """Assigns a transfer time (seconds) to one message on one link."""
+
+    def sample(self, *, size_bytes: int, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed per-message latency plus deterministic bandwidth cost.
+
+    ``time = base + size_bytes / bandwidth``.
+    """
+
+    def __init__(self, base: float = 0.01, *,
+                 bandwidth_bytes_per_s: float = 1e7) -> None:
+        if base < 0:
+            raise ConfigurationError(f"base must be >= 0, got {base}")
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self.base = float(base)
+        self.bandwidth = float(bandwidth_bytes_per_s)
+
+    def sample(self, *, size_bytes: int, rng: np.random.Generator) -> float:
+        return self.base + size_bytes / self.bandwidth
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniform on ``[low, high]`` plus bandwidth cost."""
+
+    def __init__(self, low: float, high: float, *,
+                 bandwidth_bytes_per_s: float = 1e7) -> None:
+        if not 0 <= low < high:
+            raise ConfigurationError(f"need 0 <= low < high, got [{low}, {high}]")
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self.low = float(low)
+        self.high = float(high)
+        self.bandwidth = float(bandwidth_bytes_per_s)
+
+    def sample(self, *, size_bytes: int, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high)) \
+            + size_bytes / self.bandwidth
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed latency — the straggler-realistic model.
+
+    ``time = exp(N(mu, sigma^2)) + size_bytes / bandwidth``; the lognormal
+    tail makes occasional messages much slower than the median, which is
+    what makes synchronous rounds expensive in practice.
+    """
+
+    def __init__(self, median: float = 0.05, sigma: float = 0.5, *,
+                 bandwidth_bytes_per_s: float = 1e7) -> None:
+        if median <= 0:
+            raise ConfigurationError(f"median must be positive, got {median}")
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {sigma}")
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self.mu = float(np.log(median))
+        self.sigma = float(sigma)
+        self.bandwidth = float(bandwidth_bytes_per_s)
+
+    def sample(self, *, size_bytes: int, rng: np.random.Generator) -> float:
+        return float(np.exp(rng.normal(self.mu, self.sigma))) \
+            + size_bytes / self.bandwidth
+
+
+def round_time(upload_assignment: Sequence[Sequence[int]], *,
+               model_bytes: int, latency: LatencyModel,
+               num_servers: int, rng: np.random.Generator,
+               compute_seconds: float = 0.0
+               ) -> Tuple[float, Dict[str, float]]:
+    """Simulated wall-clock of one synchronous Fed-MS round.
+
+    Stages (all barriers):
+
+    1. every client finishes local compute (``compute_seconds``, shared);
+    2. every upload arrives — per client, uploads to its chosen PSs are
+       sequential over the shared uplink; the stage ends at the slowest
+       client;
+    3. dissemination — each PS broadcasts to all clients; per (PS, client)
+       link one draw; the stage ends at the slowest link.
+
+    Returns ``(total_seconds, per-stage breakdown)``.
+    """
+    if model_bytes <= 0:
+        raise ConfigurationError(f"model_bytes must be positive, got {model_bytes}")
+    if compute_seconds < 0:
+        raise ConfigurationError("compute_seconds must be >= 0")
+    num_clients = len(upload_assignment)
+    if num_clients == 0:
+        raise ConfigurationError("need at least one client")
+
+    upload_stage = 0.0
+    for targets in upload_assignment:
+        client_time = sum(
+            latency.sample(size_bytes=model_bytes, rng=rng)
+            for _ in targets
+        )
+        upload_stage = max(upload_stage, client_time)
+
+    dissemination_stage = 0.0
+    for _ in range(num_servers):
+        for _ in range(num_clients):
+            dissemination_stage = max(
+                dissemination_stage,
+                latency.sample(size_bytes=model_bytes, rng=rng),
+            )
+
+    breakdown = {
+        "compute": compute_seconds,
+        "upload": upload_stage,
+        "dissemination": dissemination_stage,
+    }
+    return sum(breakdown.values()), breakdown

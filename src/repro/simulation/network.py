@@ -1,0 +1,190 @@
+"""In-memory edge-network simulation with traffic accounting.
+
+The paper's sparse-uploading claim (Section IV-A) is quantitative: uploading
+to one uniformly chosen PS costs ``K`` model transfers per round — the same
+as single-PS FedAvg — versus ``K x P`` for the trivial upload-to-all scheme.
+This module provides the measurement substrate: every model exchanged
+between a client and a PS travels as a :class:`Message` through a
+:class:`Network` that counts messages and bytes per direction and per tag,
+and can inject failures (drops) for robustness experiments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+
+__all__ = ["NodeId", "Message", "TrafficStats", "Network"]
+
+
+class NodeId:
+    """Address of a simulation participant: a role plus an index.
+
+    >>> NodeId.client(3)
+    NodeId('client', 3)
+    >>> NodeId.server(0).role
+    'server'
+    """
+
+    __slots__ = ("role", "index")
+
+    CLIENT_ROLE = "client"
+    SERVER_ROLE = "server"
+
+    def __init__(self, role: str, index: int) -> None:
+        if role not in (self.CLIENT_ROLE, self.SERVER_ROLE):
+            raise ConfigurationError(f"unknown role {role!r}")
+        if index < 0:
+            raise ConfigurationError(f"index must be >= 0, got {index}")
+        self.role = role
+        self.index = index
+
+    @classmethod
+    def client(cls, index: int) -> "NodeId":
+        return cls(cls.CLIENT_ROLE, index)
+
+    @classmethod
+    def server(cls, index: int) -> "NodeId":
+        return cls(cls.SERVER_ROLE, index)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, NodeId)
+                and self.role == other.role and self.index == other.index)
+
+    def __hash__(self) -> int:
+        return hash((self.role, self.index))
+
+    def __repr__(self) -> str:
+        return f"NodeId({self.role!r}, {self.index})"
+
+
+class Message:
+    """A single payload in flight.
+
+    ``payload`` is typically a flat model vector; its size in bytes is
+    computed from the array buffer, which is what a real transport would
+    serialize.
+    """
+
+    __slots__ = ("sender", "recipient", "payload", "tag", "round_index")
+
+    def __init__(self, sender: NodeId, recipient: NodeId, payload: np.ndarray,
+                 *, tag: str, round_index: int) -> None:
+        self.sender = sender
+        self.recipient = recipient
+        self.payload = payload
+        self.tag = tag
+        self.round_index = round_index
+
+    @property
+    def size_bytes(self) -> int:
+        return int(np.asarray(self.payload).nbytes)
+
+    def __repr__(self) -> str:
+        return (f"Message({self.sender!r} -> {self.recipient!r}, "
+                f"tag={self.tag!r}, round={self.round_index}, "
+                f"{self.size_bytes} bytes)")
+
+
+class TrafficStats:
+    """Message and byte counters, overall and per tag."""
+
+    def __init__(self) -> None:
+        self.messages_total = 0
+        self.bytes_total = 0
+        self.messages_by_tag: Dict[str, int] = defaultdict(int)
+        self.bytes_by_tag: Dict[str, int] = defaultdict(int)
+        self.dropped_total = 0
+
+    def record(self, message: Message) -> None:
+        self.messages_total += 1
+        self.bytes_total += message.size_bytes
+        self.messages_by_tag[message.tag] += 1
+        self.bytes_by_tag[message.tag] += message.size_bytes
+
+    def record_drop(self) -> None:
+        self.dropped_total += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict copy suitable for logging or assertions."""
+        return {
+            "messages_total": self.messages_total,
+            "bytes_total": self.bytes_total,
+            "messages_by_tag": dict(self.messages_by_tag),
+            "bytes_by_tag": dict(self.bytes_by_tag),
+            "dropped_total": self.dropped_total,
+        }
+
+    def reset(self) -> None:
+        self.messages_total = 0
+        self.bytes_total = 0
+        self.messages_by_tag.clear()
+        self.bytes_by_tag.clear()
+        self.dropped_total = 0
+
+
+#: Decides whether a message is lost: ``(message) -> True`` means drop.
+DropRule = Callable[[Message], bool]
+
+
+class Network:
+    """Synchronous in-memory transport between clients and servers.
+
+    Messages sent with :meth:`send` are queued per recipient and retrieved
+    with :meth:`receive`. All traffic is counted in :attr:`stats`. Failure
+    injection: a ``drop_probability`` applied i.i.d. per message, plus an
+    optional deterministic ``drop_rule`` for targeted experiments (e.g.
+    "drop every upload to PS 3 in round 7").
+    """
+
+    def __init__(self, *, drop_probability: float = 0.0,
+                 drop_rule: Optional[DropRule] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ConfigurationError(
+                f"drop_probability must be in [0, 1), got {drop_probability}"
+            )
+        if drop_probability > 0.0 and rng is None:
+            raise ConfigurationError(
+                "drop_probability > 0 requires an rng for reproducibility"
+            )
+        self.drop_probability = float(drop_probability)
+        self.drop_rule = drop_rule
+        self._rng = rng
+        self._queues: Dict[NodeId, List[Message]] = defaultdict(list)
+        self.stats = TrafficStats()
+
+    def send(self, message: Message) -> bool:
+        """Queue a message for its recipient.
+
+        Returns ``False`` (and counts a drop) if failure injection lost the
+        message. Delivered messages are counted in :attr:`stats`.
+        """
+        if self.drop_rule is not None and self.drop_rule(message):
+            self.stats.record_drop()
+            return False
+        if self.drop_probability > 0.0:
+            assert self._rng is not None
+            if self._rng.random() < self.drop_probability:
+                self.stats.record_drop()
+                return False
+        self.stats.record(message)
+        self._queues[message.recipient].append(message)
+        return True
+
+    def receive(self, recipient: NodeId) -> List[Message]:
+        """Drain and return all messages queued for ``recipient``."""
+        messages = self._queues.pop(recipient, [])
+        return messages
+
+    def pending_count(self, recipient: NodeId) -> int:
+        """Number of queued messages for ``recipient`` without draining."""
+        return len(self._queues.get(recipient, []))
+
+    def clear(self) -> None:
+        """Drop all queued messages (does not touch the statistics)."""
+        self._queues.clear()

@@ -1,0 +1,88 @@
+"""Empirical convergence-rate estimation.
+
+Theorem 1 claims an ``O(1/T)`` rate. Given a measured suboptimality
+trajectory, :func:`fit_power_law` recovers the empirical exponent by
+least-squares in log-log space, so the convergence benchmark can assert
+"the measured decay exponent is at most -0.8" instead of eyeballing a
+curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+
+__all__ = ["PowerLawFit", "fit_power_law", "halving_steps"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``value ~ coefficient * step^exponent`` fit summary.
+
+    ``r_squared`` is the coefficient of determination of the log-log
+    regression; close to 1 means the trajectory really is a power law.
+    """
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, step: float) -> float:
+        """Fitted value at ``step``."""
+        if step <= 0:
+            raise ConfigurationError(f"step must be positive, got {step}")
+        return self.coefficient * step ** self.exponent
+
+
+def fit_power_law(steps: Sequence[float],
+                  values: Sequence[float]) -> PowerLawFit:
+    """Least-squares power-law fit of ``values`` against ``steps``.
+
+    Both inputs must be positive; at least three points are required for a
+    meaningful ``r_squared``.
+    """
+    steps = np.asarray(steps, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if steps.shape != values.shape or steps.ndim != 1:
+        raise ConfigurationError(
+            f"steps and values must be matching 1-D sequences, got "
+            f"{steps.shape} and {values.shape}"
+        )
+    if steps.size < 3:
+        raise ConfigurationError(
+            f"need at least 3 points to fit, got {steps.size}"
+        )
+    if np.any(steps <= 0) or np.any(values <= 0):
+        raise ConfigurationError("steps and values must be strictly positive")
+
+    log_steps = np.log(steps)
+    log_values = np.log(values)
+    design = np.stack([log_steps, np.ones_like(log_steps)], axis=1)
+    (slope, intercept), residuals, _, _ = np.linalg.lstsq(
+        design, log_values, rcond=None
+    )
+    predicted = design @ np.array([slope, intercept])
+    total = float(np.sum((log_values - log_values.mean()) ** 2))
+    residual = float(np.sum((log_values - predicted) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+def halving_steps(steps: Sequence[float], values: Sequence[float]) -> float:
+    """Average multiplicative step growth needed to halve the value.
+
+    For a perfect ``1/t`` decay this is 2.0 (doubling ``t`` halves the
+    error); returns ``2 ** (-1 / exponent)`` of the fitted power law.
+    """
+    fit = fit_power_law(steps, values)
+    if fit.exponent >= 0:
+        return float("inf")
+    return float(2.0 ** (-1.0 / fit.exponent))

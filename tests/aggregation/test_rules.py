@@ -1,0 +1,258 @@
+"""Tests for aggregation rules, including the paper's worked example and
+property-based robustness checks mirroring Lemma 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.common import ConfigurationError, ShapeError
+from repro.aggregation import (
+    coordinate_median,
+    geometric_median,
+    krum,
+    krum_index,
+    mean,
+    multi_krum,
+    trim_count,
+    trimmed_mean,
+)
+
+
+class TestMean:
+    def test_average(self):
+        stack = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(mean(stack), [2.0, 3.0])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            mean(np.array([1.0, 2.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            mean(np.zeros((0, 3)))
+
+
+class TestTrimCount:
+    def test_paper_setting(self):
+        # P = 10 PSs, beta = 0.2 -> drop 2 from each tail.
+        assert trim_count(10, 0.2) == 2
+
+    def test_floor_behavior(self):
+        assert trim_count(5, 0.2) == 1
+        assert trim_count(4, 0.2) == 0
+
+    def test_rejects_half_or_more(self):
+        with pytest.raises(ConfigurationError):
+            trim_count(10, 0.5)
+
+    def test_rejects_trimming_everything(self):
+        # floor(0.49 * 2) = 0 is fine; floor(0.4 * 5) = 2, 2*2 < 5 fine;
+        # but 3 models at 0.4 -> count 1, 2*1 < 3 fine. Construct a failure:
+        with pytest.raises(ConfigurationError):
+            trim_count(2, 0.5)
+
+
+class TestTrimmedMean:
+    def test_paper_worked_example(self):
+        """Section IV-B: trmean_0.2{1,2,3,4,5} = (2+3+4)/3 = 3."""
+        stack = np.array([[1.0], [2.0], [3.0], [4.0], [5.0]])
+        assert trimmed_mean(stack, 0.2)[0] == pytest.approx(3.0)
+
+    def test_zero_ratio_equals_mean(self):
+        rng = np.random.default_rng(0)
+        stack = rng.normal(size=(7, 5))
+        np.testing.assert_allclose(trimmed_mean(stack, 0.0), mean(stack))
+
+    def test_coordinates_trimmed_independently(self):
+        stack = np.array([
+            [0.0, 100.0],
+            [1.0, 1.0],
+            [2.0, 2.0],
+            [3.0, 3.0],
+            [100.0, 0.0],
+        ])
+        result = trimmed_mean(stack, 0.2)
+        np.testing.assert_allclose(result, [2.0, 2.0])
+
+    def test_ignores_extreme_outliers(self):
+        stack = np.vstack([np.full((8, 3), 1.0), np.full((2, 3), 1e12)])
+        result = trimmed_mean(stack, 0.2)
+        np.testing.assert_allclose(result, 1.0)
+
+    def test_output_within_input_range(self):
+        rng = np.random.default_rng(1)
+        stack = rng.normal(size=(9, 4))
+        result = trimmed_mean(stack, 0.25)
+        assert np.all(result >= stack.min(axis=0) - 1e-12)
+        assert np.all(result <= stack.max(axis=0) + 1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        stack=arrays(np.float64, (10, 3),
+                     elements=st.floats(-100, 100)),
+        ratio=st.floats(0.0, 0.49),
+    )
+    def test_permutation_invariance(self, stack, ratio):
+        rng = np.random.default_rng(0)
+        permuted = stack[rng.permutation(10)]
+        np.testing.assert_allclose(
+            trimmed_mean(stack, ratio), trimmed_mean(permuted, ratio), atol=1e-9
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_lemma2_order_statistic_bound(self, data):
+        """Lemma 2's core inequality: after tampering B of P scalars,
+        the trimmed mean (beta = B/P) stays within the [min, max] of the
+        *benign* values.
+
+        This is the robustness property that makes the filter safe: no
+        matter what the B Byzantine values are, the output cannot be pulled
+        outside the benign hull.
+        """
+        p = data.draw(st.integers(3, 15))
+        b = data.draw(st.integers(0, (p - 1) // 2))
+        benign = data.draw(
+            arrays(np.float64, (p - b,), elements=st.floats(-1e6, 1e6))
+        )
+        byzantine = data.draw(
+            arrays(np.float64, (b,),
+                   elements=st.floats(-1e9, 1e9))
+        )
+        stack = np.concatenate([benign, byzantine]).reshape(-1, 1)
+        result = trimmed_mean(stack, b / p if p else 0.0)
+        assert benign.min() - 1e-6 <= result[0] <= benign.max() + 1e-6
+
+
+class TestCoordinateMedian:
+    def test_simple(self):
+        stack = np.array([[1.0, 5.0], [2.0, 6.0], [100.0, -50.0]])
+        np.testing.assert_array_equal(coordinate_median(stack), [2.0, 5.0])
+
+    def test_majority_benign_bound(self):
+        stack = np.vstack([np.zeros((6, 2)), np.full((5, 2), 1e9)])
+        np.testing.assert_array_equal(coordinate_median(stack), [0.0, 0.0])
+
+
+class TestGeometricMedian:
+    def test_single_row(self):
+        stack = np.array([[3.0, 4.0]])
+        np.testing.assert_array_equal(geometric_median(stack), [3.0, 4.0])
+
+    def test_symmetric_points(self):
+        stack = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        np.testing.assert_allclose(geometric_median(stack), [0.0, 0.0], atol=1e-6)
+
+    def test_collinear_points_median(self):
+        stack = np.array([[0.0], [1.0], [10.0]])
+        np.testing.assert_allclose(geometric_median(stack), [1.0], atol=1e-4)
+
+    def test_robust_to_single_outlier(self):
+        stack = np.vstack([np.zeros((10, 3)), np.full((1, 3), 1e6)])
+        result = geometric_median(stack)
+        assert np.linalg.norm(result) < 1.0
+
+    def test_iterate_on_data_point(self):
+        """Weiszfeld must survive the iterate landing exactly on an input."""
+        stack = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0], [2.0, 2.0],
+                          [1.0, 1.0]])
+        result = geometric_median(stack)
+        np.testing.assert_allclose(result, [1.0, 1.0], atol=1e-5)
+
+
+class TestKrum:
+    def _cluster_with_outliers(self, outliers):
+        rng = np.random.default_rng(0)
+        benign = rng.normal(size=(8, 4)) * 0.01
+        bad = np.full((outliers, 4), 100.0)
+        return np.vstack([benign, bad])
+
+    def test_selects_from_benign_cluster(self):
+        stack = self._cluster_with_outliers(2)
+        index = krum_index(stack, num_byzantine=2)
+        assert index < 8
+
+    def test_krum_returns_row(self):
+        stack = self._cluster_with_outliers(2)
+        result = krum(stack, num_byzantine=2)
+        assert any(np.array_equal(result, row) for row in stack[:8])
+
+    def test_multi_krum_excludes_outliers(self):
+        stack = self._cluster_with_outliers(2)
+        result = multi_krum(stack, num_byzantine=2)
+        assert np.linalg.norm(result) < 1.0
+
+    def test_rejects_too_many_byzantine(self):
+        with pytest.raises(ConfigurationError):
+            krum(np.zeros((4, 2)), num_byzantine=2)
+
+    def test_rejects_negative_byzantine(self):
+        with pytest.raises(ConfigurationError):
+            krum(np.zeros((5, 2)), num_byzantine=-1)
+
+    def test_multi_krum_num_selected_validation(self):
+        stack = self._cluster_with_outliers(1)
+        with pytest.raises(ConfigurationError):
+            multi_krum(stack, num_byzantine=1, num_selected=0)
+
+
+class TestBulyan:
+    def _cluster_with_outliers(self, outliers, benign=12):
+        rng = np.random.default_rng(0)
+        good = rng.normal(size=(benign, 4)) * 0.01
+        bad = np.full((outliers, 4), 100.0)
+        return np.vstack([good, bad])
+
+    def test_excludes_outliers(self):
+        from repro.aggregation import bulyan
+
+        stack = self._cluster_with_outliers(2)  # n=14 >= 4*2+3
+        result = bulyan(stack, 2)
+        assert np.linalg.norm(result) < 1.0
+
+    def test_zero_byzantine_is_defined(self):
+        from repro.aggregation import bulyan, mean
+
+        rng = np.random.default_rng(1)
+        stack = rng.normal(size=(5, 3))
+        # f=0: theta = n, trimmed average keeps all values -> plain mean.
+        np.testing.assert_allclose(bulyan(stack, 0), mean(stack), atol=1e-12)
+
+    def test_rejects_insufficient_n(self):
+        from repro.aggregation import bulyan
+        from repro.common import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            bulyan(np.zeros((10, 2)), 2)  # needs n >= 11
+
+    def test_rejects_negative_f(self):
+        from repro.aggregation import bulyan
+        from repro.common import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            bulyan(np.zeros((12, 2)), -1)
+
+
+class TestRegistry:
+    def test_all_names_build(self):
+        from repro.aggregation import available_rules, make_rule
+
+        stack = np.random.default_rng(0).normal(size=(12, 3))
+        for name in available_rules():
+            rule = make_rule(name, trim_ratio=0.2, num_byzantine=2)
+            assert rule(stack).shape == (3,)
+
+    def test_unknown_name(self):
+        from repro.aggregation import make_rule
+
+        with pytest.raises(ConfigurationError):
+            make_rule("nope")
+
+    def test_trimmed_mean_rule_uses_ratio(self):
+        from repro.aggregation import make_rule
+
+        stack = np.array([[1.0], [2.0], [3.0], [4.0], [5.0]])
+        rule = make_rule("trimmed_mean", trim_ratio=0.2)
+        assert rule(stack)[0] == pytest.approx(3.0)

@@ -1,0 +1,220 @@
+"""Tests for the Byzantine PS attack catalog."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, RngFactory
+from repro.attacks import (
+    PAPER_ATTACKS,
+    AdaptiveTrimmedMeanAttack,
+    Attack,
+    AttackContext,
+    BackwardAttack,
+    IdentityAttack,
+    InconsistentAttack,
+    NoiseAttack,
+    RandomAttack,
+    SafeguardAttack,
+    SignFlipAttack,
+    ZeroAttack,
+    available_attacks,
+    make_attack,
+)
+
+
+def make_context(aggregate=None, history=(), round_index=5, client_id=None,
+                 all_aggregates=None, seed=0):
+    if aggregate is None:
+        aggregate = np.array([1.0, 2.0, 3.0])
+    return AttackContext(
+        round_index=round_index,
+        server_id=1,
+        true_aggregate=np.asarray(aggregate, dtype=float),
+        previous_aggregates=[np.asarray(h, dtype=float) for h in history],
+        rng=RngFactory(seed).make("attack"),
+        all_server_aggregates=all_aggregates,
+        client_id=client_id,
+    )
+
+
+class TestIdentityAttack:
+    def test_returns_copy_of_truth(self):
+        context = make_context()
+        result = IdentityAttack().tamper(context)
+        np.testing.assert_array_equal(result, context.true_aggregate)
+        assert result is not context.true_aggregate
+
+
+class TestNoiseAttack:
+    def test_perturbs_but_centers_on_truth(self):
+        context = make_context(aggregate=np.zeros(10000))
+        result = NoiseAttack(scale=1.0).tamper(context)
+        assert abs(result.mean()) < 0.05
+        assert abs(result.std() - 1.0) < 0.05
+
+    def test_does_not_modify_input(self):
+        context = make_context()
+        before = context.true_aggregate.copy()
+        NoiseAttack().tamper(context)
+        np.testing.assert_array_equal(context.true_aggregate, before)
+
+    def test_scale_controls_magnitude(self):
+        small = NoiseAttack(scale=0.1).tamper(make_context(np.zeros(1000)))
+        large = NoiseAttack(scale=10.0).tamper(make_context(np.zeros(1000)))
+        assert large.std() > 10 * small.std()
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            NoiseAttack(scale=0.0)
+
+
+class TestRandomAttack:
+    def test_ignores_truth_entirely(self):
+        context = make_context(aggregate=np.full(1000, 1e9))
+        result = RandomAttack().tamper(context)
+        assert np.all(result >= -10.0)
+        assert np.all(result <= 10.0)
+
+    def test_paper_default_interval(self):
+        attack = RandomAttack()
+        assert attack.low == -10.0
+        assert attack.high == 10.0
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ConfigurationError):
+            RandomAttack(low=5.0, high=-5.0)
+
+
+class TestSafeguardAttack:
+    def test_reverse_gradient_formula(self):
+        previous = np.array([1.0, 1.0])
+        current = np.array([2.0, 0.0])
+        context = make_context(aggregate=current, history=[previous])
+        result = SafeguardAttack(gamma=0.6).tamper(context)
+        pseudo_gradient = current - previous
+        np.testing.assert_allclose(result, current - 0.6 * pseudo_gradient)
+
+    def test_honest_on_first_round(self):
+        context = make_context(history=[])
+        result = SafeguardAttack().tamper(context)
+        np.testing.assert_array_equal(result, context.true_aggregate)
+
+    def test_uses_most_recent_history(self):
+        history = [np.zeros(2), np.array([5.0, 5.0])]
+        current = np.array([6.0, 6.0])
+        result = SafeguardAttack(gamma=1.0).tamper(
+            make_context(aggregate=current, history=history)
+        )
+        np.testing.assert_allclose(result, [5.0, 5.0])
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ConfigurationError):
+            SafeguardAttack(gamma=0.0)
+
+
+class TestBackwardAttack:
+    def test_replays_t_minus_delay(self):
+        history = [np.full(2, float(i)) for i in range(5)]  # a_1..a_5
+        context = make_context(history=history)
+        result = BackwardAttack(delay=2).tamper(context)
+        np.testing.assert_array_equal(result, history[3])
+
+    def test_clamps_to_oldest_when_history_short(self):
+        history = [np.array([7.0])]
+        result = BackwardAttack(delay=5).tamper(make_context(history=history))
+        np.testing.assert_array_equal(result, [7.0])
+
+    def test_honest_with_no_history(self):
+        context = make_context(history=[])
+        result = BackwardAttack().tamper(context)
+        np.testing.assert_array_equal(result, context.true_aggregate)
+
+    def test_rejects_bad_delay(self):
+        with pytest.raises(ConfigurationError):
+            BackwardAttack(delay=0)
+
+
+class TestSignFlipAttack:
+    def test_negates(self):
+        result = SignFlipAttack().tamper(make_context([1.0, -2.0]))
+        np.testing.assert_array_equal(result, [-1.0, 2.0])
+
+    def test_scaling(self):
+        result = SignFlipAttack(scale=3.0).tamper(make_context([1.0]))
+        np.testing.assert_array_equal(result, [-3.0])
+
+
+class TestZeroAttack:
+    def test_zeros(self):
+        result = ZeroAttack().tamper(make_context([1.0, 2.0]))
+        np.testing.assert_array_equal(result, [0.0, 0.0])
+
+
+class TestInconsistentAttack:
+    def test_client_dependent_flag(self):
+        assert InconsistentAttack().is_client_dependent
+        assert not NoiseAttack().is_client_dependent
+
+    def test_different_clients_get_different_models(self):
+        attack = InconsistentAttack()
+        a = attack.tamper(make_context(client_id=0))
+        b = attack.tamper(make_context(client_id=1))
+        assert not np.array_equal(a, b)
+
+    def test_same_client_same_round_deterministic(self):
+        attack = InconsistentAttack()
+        a = attack.tamper(make_context(client_id=3, seed=0))
+        b = attack.tamper(make_context(client_id=3, seed=99))
+        np.testing.assert_array_equal(a, b)
+
+    def test_varies_across_rounds(self):
+        attack = InconsistentAttack()
+        a = attack.tamper(make_context(client_id=0, round_index=1))
+        b = attack.tamper(make_context(client_id=0, round_index=2))
+        assert not np.array_equal(a, b)
+
+
+class TestAdaptiveTrimmedMeanAttack:
+    def test_hides_inside_benign_spread(self):
+        rng = np.random.default_rng(0)
+        benign = rng.normal(size=(8, 50))
+        attack = AdaptiveTrimmedMeanAttack(z_max=1.0)
+        result = attack.tamper(make_context(all_aggregates=benign))
+        benign_mean = benign.mean(axis=0)
+        benign_std = benign.std(axis=0)
+        np.testing.assert_allclose(result, benign_mean - benign_std)
+
+    def test_fallback_without_knowledge(self):
+        result = AdaptiveTrimmedMeanAttack().tamper(make_context([1.0, -1.0]))
+        np.testing.assert_array_equal(result, [-1.0, 1.0])
+
+    def test_rejects_bad_z(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveTrimmedMeanAttack(z_max=0.0)
+
+
+class TestRegistry:
+    def test_paper_attacks_registered(self):
+        for name in PAPER_ATTACKS:
+            assert name in available_attacks()
+
+    def test_all_attacks_instantiate_and_run(self):
+        context = make_context(history=[np.zeros(3)],
+                               all_aggregates=np.zeros((4, 3)))
+        for name in available_attacks():
+            attack = make_attack(name)
+            assert isinstance(attack, Attack)
+            result = attack.tamper(context)
+            assert result.shape == (3,)
+
+    def test_kwargs_forwarded(self):
+        attack = make_attack("noise", scale=7.0)
+        assert attack.scale == 7.0
+
+    def test_unknown_attack(self):
+        with pytest.raises(ConfigurationError):
+            make_attack("not_an_attack")
+
+    def test_base_attack_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Attack().tamper(make_context())

@@ -1,0 +1,96 @@
+"""Tests for the Byzantine-client extension attacks."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, RngFactory
+from repro.attacks import (
+    ClientAttack,
+    ClientAttackContext,
+    ClientNoiseAttack,
+    ClientSameValueAttack,
+    ClientScalingAttack,
+    ClientSignFlipAttack,
+    available_client_attacks,
+    make_client_attack,
+)
+
+
+def make_context(honest=None, global_model=None, seed=0):
+    honest = np.asarray(honest if honest is not None else [2.0, 3.0])
+    global_model = np.asarray(
+        global_model if global_model is not None else [1.0, 1.0]
+    )
+    return ClientAttackContext(
+        round_index=3,
+        client_id=7,
+        honest_update=honest,
+        global_model=global_model,
+        rng=RngFactory(seed).make("client_attack"),
+    )
+
+
+class TestClientSignFlip:
+    def test_reverses_progress(self):
+        # honest progress = (1, 2); upload = global - progress = (0, -1)
+        result = ClientSignFlipAttack().tamper(make_context())
+        np.testing.assert_array_equal(result, [0.0, -1.0])
+
+    def test_scale(self):
+        result = ClientSignFlipAttack(scale=2.0).tamper(make_context())
+        np.testing.assert_array_equal(result, [-1.0, -3.0])
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            ClientSignFlipAttack(scale=0.0)
+
+
+class TestClientNoise:
+    def test_centered_on_honest_update(self):
+        context = make_context(honest=np.zeros(5000),
+                               global_model=np.zeros(5000))
+        result = ClientNoiseAttack(scale=1.0).tamper(context)
+        assert abs(result.mean()) < 0.1
+        assert abs(result.std() - 1.0) < 0.1
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            ClientNoiseAttack(scale=-1.0)
+
+
+class TestClientScaling:
+    def test_inflates_progress(self):
+        result = ClientScalingAttack(factor=10.0).tamper(make_context())
+        # global + 10 * progress = (1,1) + 10*(1,2) = (11, 21)
+        np.testing.assert_array_equal(result, [11.0, 21.0])
+
+    def test_rejects_factor_one(self):
+        with pytest.raises(ConfigurationError):
+            ClientScalingAttack(factor=1.0)
+
+
+class TestClientSameValue:
+    def test_constant_vector(self):
+        result = ClientSameValueAttack(value=5.0).tamper(make_context())
+        np.testing.assert_array_equal(result, [5.0, 5.0])
+
+
+class TestRegistry:
+    def test_all_attacks_run(self):
+        context = make_context()
+        for name in available_client_attacks():
+            attack = make_client_attack(name)
+            assert isinstance(attack, ClientAttack)
+            assert attack.tamper(context).shape == (2,)
+
+    def test_kwargs_forwarded(self):
+        attack = make_client_attack("client_scaling", factor=50.0)
+        assert attack.factor == 50.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_client_attack("client_nope")
+
+    def test_base_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ClientAttack().tamper(make_context())

@@ -1,0 +1,173 @@
+"""Tests for Client and ParameterServer/ByzantineParameterServer."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import make_rule
+from repro.attacks import NoiseAttack, RandomAttack, SignFlipAttack
+from repro.common import ProtocolError, RngFactory
+from repro.core import ByzantineParameterServer, Client, ParameterServer
+from repro.data import ArrayDataset
+from repro.models import MLP, SoftmaxRegression
+from repro.nn import InverseTimeDecay, to_vector
+
+
+def make_client(client_id=0, n=40, seed=0, **kwargs):
+    rngs = RngFactory(seed)
+    rng = np.random.default_rng(seed)
+    data = ArrayDataset(rng.normal(size=(n, 4)), rng.integers(0, 3, size=n))
+    model = MLP(4, (8,), 3, rng=rngs.make("init"))
+    return Client(client_id, model, data, batch_size=8,
+                  rng=rngs.make("batches"), **kwargs)
+
+
+class TestClient:
+    def test_model_vector_roundtrip(self):
+        client = make_client()
+        vector = client.model_vector()
+        client.set_model_vector(vector * 2.0)
+        np.testing.assert_allclose(client.model_vector(), vector * 2.0)
+
+    def test_local_train_changes_model(self):
+        client = make_client()
+        before = client.model_vector()
+        after = client.local_train(round_index=0, local_steps=3)
+        assert not np.array_equal(before, after)
+
+    def test_local_train_records_loss(self):
+        client = make_client()
+        client.local_train(0, 2)
+        assert client.last_train_loss is not None
+        assert np.isfinite(client.last_train_loss)
+
+    def test_local_train_step_count_affects_result(self):
+        a = make_client(seed=3)
+        b = make_client(seed=3)
+        va = a.local_train(0, 1)
+        vb = b.local_train(0, 5)
+        assert not np.array_equal(va, vb)
+
+    def test_lr_schedule_used_per_global_step(self):
+        """With eta_t = phi/(gamma+t), round 1 must use later (smaller) rates
+        than round 0, producing a smaller parameter displacement."""
+        schedule = InverseTimeDecay(phi=1.0, gamma=1.0)
+        a = make_client(seed=1, lr_schedule=schedule)
+        start = a.model_vector()
+        a.local_train(round_index=0, local_steps=3)
+        early_move = np.linalg.norm(a.model_vector() - start)
+
+        b = make_client(seed=1, lr_schedule=schedule)
+        b.set_model_vector(start)
+        b.local_train(round_index=50, local_steps=3)
+        late_move = np.linalg.norm(b.model_vector() - start)
+        assert late_move < early_move
+
+    def test_filter_received_adopts_output(self):
+        client = make_client()
+        dim = client.model_vector().size
+        models = [np.full(dim, float(v)) for v in [1, 2, 3, 4, 5]]
+        result = client.filter_received(models, make_rule("trimmed_mean",
+                                                          trim_ratio=0.2))
+        np.testing.assert_allclose(result, 3.0)
+        np.testing.assert_allclose(client.model_vector(), 3.0)
+
+    def test_filter_received_empty_raises(self):
+        client = make_client()
+        with pytest.raises(ProtocolError):
+            client.filter_received([], make_rule("mean"))
+
+    def test_evaluate_returns_loss_and_accuracy(self):
+        client = make_client()
+        loss, acc = client.evaluate(client.dataset)
+        assert np.isfinite(loss)
+        assert 0.0 <= acc <= 1.0
+
+    def test_flatten_inputs(self):
+        rngs = RngFactory(0)
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(20, 3, 4, 4))
+        data = ArrayDataset(images, rng.integers(0, 2, size=20))
+        model = SoftmaxRegression(48, 2, rng=rngs.make("init"))
+        client = Client(0, model, data, batch_size=5,
+                        rng=rngs.make("b"), flatten_inputs=True)
+        client.local_train(0, 2)  # would raise ShapeError without flattening
+        loss, acc = client.evaluate(data)
+        assert np.isfinite(loss)
+
+
+class TestParameterServer:
+    def test_aggregate_is_mean(self):
+        server = ParameterServer(0)
+        result = server.aggregate([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        np.testing.assert_array_equal(result, [2.0, 3.0])
+
+    def test_history_accumulates(self):
+        server = ParameterServer(0)
+        server.aggregate([np.array([1.0])])
+        server.aggregate([np.array([2.0])])
+        assert len(server.aggregate_history) == 2
+        np.testing.assert_array_equal(server.current_aggregate, [2.0])
+
+    def test_empty_uploads_reuse_previous(self):
+        server = ParameterServer(0)
+        server.aggregate([np.array([5.0])])
+        result = server.aggregate([])
+        np.testing.assert_array_equal(result, [5.0])
+        assert server.rounds_without_uploads == 1
+
+    def test_empty_uploads_first_round_raise(self):
+        with pytest.raises(ProtocolError):
+            ParameterServer(0).aggregate([])
+
+    def test_current_aggregate_before_any_round_raises(self):
+        with pytest.raises(ProtocolError):
+            ParameterServer(0).current_aggregate
+
+    def test_history_bounded(self):
+        server = ParameterServer(0, max_history=3)
+        for i in range(10):
+            server.aggregate([np.array([float(i)])])
+        assert len(server.aggregate_history) == 3
+        np.testing.assert_array_equal(server.current_aggregate, [9.0])
+
+    def test_benign_dissemination_is_truth(self):
+        server = ParameterServer(0)
+        server.aggregate([np.array([1.0, 2.0])])
+        result = server.disseminate(round_index=0)
+        np.testing.assert_array_equal(result, [1.0, 2.0])
+        assert not server.is_byzantine
+
+
+class TestByzantineParameterServer:
+    def make_server(self, attack):
+        return ByzantineParameterServer(3, attack,
+                                        rng=RngFactory(0).make("attack"))
+
+    def test_aggregation_stays_honest(self):
+        server = self.make_server(RandomAttack())
+        result = server.aggregate([np.array([2.0]), np.array([4.0])])
+        np.testing.assert_array_equal(result, [3.0])
+
+    def test_dissemination_is_tampered(self):
+        server = self.make_server(SignFlipAttack())
+        server.aggregate([np.array([1.0, -2.0])])
+        result = server.disseminate(round_index=0)
+        np.testing.assert_array_equal(result, [-1.0, 2.0])
+        assert server.is_byzantine
+
+    def test_attack_sees_history(self):
+        from repro.attacks import BackwardAttack
+
+        server = self.make_server(BackwardAttack(delay=2))
+        for i in range(5):
+            server.aggregate([np.array([float(i)])])
+        result = server.disseminate(round_index=4)
+        np.testing.assert_array_equal(result, [2.0])
+
+    def test_noise_attack_uses_server_rng(self):
+        server = self.make_server(NoiseAttack(scale=1.0))
+        server.aggregate([np.zeros(100)])
+        a = server.disseminate(round_index=0)
+        b = server.disseminate(round_index=0)
+        # Consecutive draws differ (stream advances).
+        assert not np.array_equal(a, b)

@@ -1,0 +1,69 @@
+"""Tests for FedMSConfig validation and derived values."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.core import FedMSConfig
+
+
+class TestDefaults:
+    def test_paper_settings_are_default(self):
+        """Table II: K=50, P=10, E=3."""
+        config = FedMSConfig()
+        assert config.num_clients == 50
+        assert config.num_servers == 10
+        assert config.local_steps == 3
+
+    def test_trim_ratio_defaults_to_b_over_p(self):
+        config = FedMSConfig(num_servers=10, num_byzantine=2)
+        assert config.resolved_trim_ratio == pytest.approx(0.2)
+
+    def test_explicit_trim_ratio_wins(self):
+        config = FedMSConfig(num_byzantine=2, trim_ratio=0.1)
+        assert config.resolved_trim_ratio == pytest.approx(0.1)
+
+    def test_byzantine_fraction(self):
+        assert FedMSConfig(num_servers=10, num_byzantine=3).byzantine_fraction \
+            == pytest.approx(0.3)
+
+
+class TestValidation:
+    def test_rejects_byzantine_majority(self):
+        with pytest.raises(ConfigurationError, match="minority"):
+            FedMSConfig(num_servers=10, num_byzantine=5)
+
+    def test_accepts_byzantine_strict_minority(self):
+        FedMSConfig(num_servers=10, num_byzantine=4)
+
+    def test_rejects_trim_ratio_half(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(trim_ratio=0.5)
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(num_clients=0)
+
+    def test_rejects_negative_byzantine(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(num_byzantine=-1)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(upload_strategy="carrier_pigeon")
+
+    def test_rejects_uploads_exceeding_servers(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(upload_strategy="multi", uploads_per_client=11,
+                        num_servers=10)
+
+    def test_rejects_eval_clients_above_k(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(num_clients=5, eval_clients=10)
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(learning_rate=0.0)
+
+    def test_rejects_zero_local_steps(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(local_steps=0)

@@ -1,0 +1,61 @@
+"""Tests for TrainingHistory/RoundRecord."""
+
+from repro.core import RoundRecord, TrainingHistory
+
+
+def record(i, acc=None, loss=1.0, uploads=5, upload_bytes=40):
+    return RoundRecord(round_index=i, train_loss=loss, test_accuracy=acc,
+                       upload_messages=uploads, upload_bytes=upload_bytes)
+
+
+class TestTrainingHistory:
+    def test_empty_history(self):
+        history = TrainingHistory()
+        assert len(history) == 0
+        assert history.final_accuracy is None
+        assert history.best_accuracy is None
+        assert history.accuracies == []
+
+    def test_append_and_rounds(self):
+        history = TrainingHistory()
+        history.append(record(0))
+        history.append(record(1))
+        assert history.rounds == [0, 1]
+        assert len(history) == 2
+
+    def test_accuracies_skip_unevaluated_rounds(self):
+        history = TrainingHistory()
+        history.append(record(0, acc=0.2))
+        history.append(record(1, acc=None))
+        history.append(record(2, acc=0.5))
+        assert history.accuracies == [0.2, 0.5]
+        assert history.evaluated_rounds == [0, 2]
+
+    def test_final_and_best_accuracy(self):
+        history = TrainingHistory()
+        history.append(record(0, acc=0.7))
+        history.append(record(1, acc=0.4))
+        assert history.final_accuracy == 0.4
+        assert history.best_accuracy == 0.7
+
+    def test_communication_totals(self):
+        history = TrainingHistory()
+        history.append(record(0, uploads=50, upload_bytes=400))
+        history.append(record(1, uploads=50, upload_bytes=400))
+        assert history.total_upload_messages == 100
+        assert history.total_upload_bytes == 800
+
+    def test_to_dict_roundtrip_keys(self):
+        history = TrainingHistory()
+        history.append(record(0, acc=0.3))
+        summary = history.to_dict()
+        assert summary["num_rounds"] == 1
+        assert summary["final_accuracy"] == 0.3
+        assert summary["accuracies"] == [0.3]
+        assert summary["total_upload_messages"] == 5
+
+    def test_train_losses(self):
+        history = TrainingHistory()
+        history.append(record(0, loss=2.0))
+        history.append(record(1, loss=1.0))
+        assert history.train_losses == [2.0, 1.0]

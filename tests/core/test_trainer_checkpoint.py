@@ -1,0 +1,114 @@
+"""Tests for saving/resuming a federated run."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BackwardAttack, RandomAttack
+from repro.common import RngFactory
+from repro.core import FedMSConfig, FedMSTrainer
+from repro.data import ArrayDataset, iid_partition
+from repro.models import SoftmaxRegression
+
+
+def make_blobs(n=240, num_classes=3, dim=6, seed=0):
+    centers = np.random.default_rng(42).normal(scale=4.0,
+                                               size=(num_classes, dim))
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % num_classes
+    features = centers[labels] + rng.normal(size=(n, dim))
+    order = rng.permutation(n)
+    return ArrayDataset(features[order], labels[order])
+
+
+def make_trainer(seed=0, attack=None, num_byzantine=0):
+    data = make_blobs(seed=seed)
+    test = make_blobs(n=90, seed=seed + 1)
+    parts = iid_partition(data, 8, rng=RngFactory(seed).make("p"))
+    config = FedMSConfig(
+        num_clients=8, num_servers=4, num_byzantine=num_byzantine,
+        local_steps=2, batch_size=8, learning_rate=0.2, eval_clients=2,
+        seed=seed,
+    )
+    return FedMSTrainer(
+        config,
+        model_factory=lambda rng: SoftmaxRegression(6, 3, rng=rng),
+        client_datasets=parts,
+        test_dataset=test,
+        attack=attack,
+    )
+
+
+class TestTrainerCheckpoint:
+    def test_roundtrip_restores_round_and_model(self, tmp_path):
+        trainer = make_trainer()
+        trainer.run(4)
+        path = str(tmp_path / "run.npz")
+        trainer.save_checkpoint(path)
+        model_before = trainer.clients[0].model_vector()
+
+        fresh = make_trainer()
+        restored_round = fresh.load_checkpoint(path)
+        assert restored_round == 4
+        np.testing.assert_array_equal(
+            fresh.clients[0].model_vector(), model_before
+        )
+
+    def test_all_clients_restored_to_shared_model(self, tmp_path):
+        trainer = make_trainer()
+        trainer.run(2)
+        path = str(tmp_path / "run.npz")
+        trainer.save_checkpoint(path)
+        fresh = make_trainer(seed=0)
+        fresh.load_checkpoint(path)
+        first = fresh.clients[0].model_vector()
+        for client in fresh.clients[1:]:
+            np.testing.assert_array_equal(first, client.model_vector())
+
+    def test_resumed_run_continues_training(self, tmp_path):
+        trainer = make_trainer(seed=1)
+        trainer.run(3, eval_every=3)
+        before = trainer.history.final_accuracy
+        path = str(tmp_path / "run.npz")
+        trainer.save_checkpoint(path)
+
+        resumed = make_trainer(seed=1)
+        resumed.load_checkpoint(path)
+        history = resumed.run(8, eval_every=8)
+        assert history.records[-1].round_index == 10  # 3 saved + 8 more
+        assert history.final_accuracy >= before - 0.1
+
+    def test_server_history_restored_for_stateful_attacks(self, tmp_path):
+        trainer = make_trainer(attack=BackwardAttack(), num_byzantine=1,
+                               seed=2)
+        trainer.run(3)
+        path = str(tmp_path / "run.npz")
+        trainer.save_checkpoint(path)
+        fresh = make_trainer(attack=BackwardAttack(), num_byzantine=1, seed=2)
+        fresh.load_checkpoint(path)
+        for original, restored in zip(trainer.servers, fresh.servers):
+            np.testing.assert_array_equal(
+                original.current_aggregate, restored.current_aggregate
+            )
+        fresh.run_round()  # stateful attack runs against restored history
+
+    def test_extension_added_automatically(self, tmp_path):
+        trainer = make_trainer()
+        trainer.run(1)
+        base = str(tmp_path / "run")
+        trainer.save_checkpoint(base)  # numpy appends .npz
+        fresh = make_trainer()
+        assert fresh.load_checkpoint(base) == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            make_trainer().load_checkpoint(str(tmp_path / "missing.npz"))
+
+    def test_checkpoint_under_attack(self, tmp_path):
+        trainer = make_trainer(attack=RandomAttack(), num_byzantine=1, seed=3)
+        trainer.run(3)
+        path = str(tmp_path / "run.npz")
+        trainer.save_checkpoint(path)
+        fresh = make_trainer(attack=RandomAttack(), num_byzantine=1, seed=3)
+        fresh.load_checkpoint(path)
+        history = fresh.run(5, eval_every=5)
+        assert np.isfinite(history.final_accuracy)

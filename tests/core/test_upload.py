@@ -1,0 +1,95 @@
+"""Tests for upload strategies and their communication-cost contracts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError, RngFactory
+from repro.core import (
+    FullUpload,
+    MultiUpload,
+    SparseUpload,
+    make_upload_strategy,
+)
+
+
+class TestSparseUpload:
+    def test_one_server_per_client(self):
+        assignment = SparseUpload().assign(20, 5, rng=RngFactory(0).make("u"))
+        assert len(assignment) == 20
+        assert all(len(targets) == 1 for targets in assignment)
+        assert all(0 <= targets[0] < 5 for targets in assignment)
+
+    def test_cost_is_k(self):
+        assert SparseUpload().uploads_per_round(50, 10) == 50
+
+    def test_roughly_uniform_over_servers(self):
+        assignment = SparseUpload().assign(5000, 10, rng=RngFactory(0).make("u"))
+        counts = np.bincount([t[0] for t in assignment], minlength=10)
+        assert counts.min() > 350  # E = 500 per server
+        assert counts.max() < 650
+
+    def test_deterministic_given_seed(self):
+        a = SparseUpload().assign(10, 3, rng=RngFactory(1).make("u"))
+        b = SparseUpload().assign(10, 3, rng=RngFactory(1).make("u"))
+        assert a == b
+
+
+class TestFullUpload:
+    def test_every_server_per_client(self):
+        assignment = FullUpload().assign(4, 3, rng=RngFactory(0).make("u"))
+        assert all(targets == [0, 1, 2] for targets in assignment)
+
+    def test_cost_is_k_times_p(self):
+        assert FullUpload().uploads_per_round(50, 10) == 500
+
+
+class TestMultiUpload:
+    def test_distinct_servers(self):
+        assignment = MultiUpload(3).assign(20, 5, rng=RngFactory(0).make("u"))
+        for targets in assignment:
+            assert len(targets) == 3
+            assert len(set(targets)) == 3
+
+    def test_cost_scales_with_count(self):
+        assert MultiUpload(3).uploads_per_round(50, 10) == 150
+
+    def test_rejects_count_above_servers(self):
+        with pytest.raises(ConfigurationError):
+            MultiUpload(6).assign(2, 5, rng=RngFactory(0).make("u"))
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ConfigurationError):
+            MultiUpload(0)
+
+
+class TestFactory:
+    def test_builds_each_kind(self):
+        assert isinstance(make_upload_strategy("sparse"), SparseUpload)
+        assert isinstance(make_upload_strategy("full"), FullUpload)
+        multi = make_upload_strategy("multi", uploads_per_client=2)
+        assert isinstance(multi, MultiUpload)
+        assert multi.count == 2
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_upload_strategy("smoke_signals")
+
+
+class TestCostContract:
+    @settings(max_examples=30, deadline=None)
+    @given(num_clients=st.integers(1, 60), num_servers=st.integers(1, 12))
+    def test_assignment_length_matches_declared_cost(self, num_clients,
+                                                     num_servers):
+        """For every strategy, the declared uploads_per_round equals the
+        number of (client, server) pairs the assignment actually creates —
+        the invariant the comm-cost benchmark relies on."""
+        rng = RngFactory(0).make(f"u/{num_clients}/{num_servers}")
+        strategies = [SparseUpload(), FullUpload()]
+        if num_servers >= 2:
+            strategies.append(MultiUpload(2))
+        for strategy in strategies:
+            assignment = strategy.assign(num_clients, num_servers, rng=rng)
+            actual = sum(len(targets) for targets in assignment)
+            assert actual == strategy.uploads_per_round(num_clients, num_servers)

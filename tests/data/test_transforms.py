@@ -1,0 +1,135 @@
+"""Tests for data transforms."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, RngFactory, ShapeError
+from repro.data import (
+    Compose,
+    Flatten,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    fit_normalizer,
+)
+
+
+def make_batch(n=8, c=3, h=8, w=8, seed=0):
+    return np.random.default_rng(seed).normal(loc=2.0, scale=3.0,
+                                              size=(n, c, h, w))
+
+
+class TestNormalize:
+    def test_standardizes(self):
+        batch = make_batch(n=64)
+        normalizer = fit_normalizer(batch)
+        out = normalizer(batch)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-10)
+
+    def test_applies_train_statistics_to_test(self):
+        train = make_batch(seed=0)
+        test = make_batch(seed=1)
+        normalizer = fit_normalizer(train)
+        out = normalizer(test)
+        assert out.shape == test.shape
+        assert not np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-3)
+
+    def test_constant_channel_handled(self):
+        batch = np.zeros((4, 2, 3, 3))
+        normalizer = fit_normalizer(batch)
+        out = normalizer(batch)
+        assert np.all(np.isfinite(out))
+
+    def test_rejects_channel_mismatch(self):
+        normalizer = Normalize(np.zeros(3), np.ones(3))
+        with pytest.raises(ShapeError):
+            normalizer(make_batch(c=4))
+
+    def test_rejects_bad_std(self):
+        with pytest.raises(ConfigurationError):
+            Normalize(np.zeros(3), np.zeros(3))
+
+    def test_fit_rejects_flat_input(self):
+        with pytest.raises(ShapeError):
+            fit_normalizer(np.zeros((4, 12)))
+
+
+class TestRandomHorizontalFlip:
+    def test_p_zero_identity(self):
+        batch = make_batch()
+        flip = RandomHorizontalFlip(0.0, rng=RngFactory(0).make("f"))
+        np.testing.assert_array_equal(flip(batch), batch)
+
+    def test_p_one_mirrors_all(self):
+        batch = make_batch()
+        flip = RandomHorizontalFlip(1.0, rng=RngFactory(0).make("f"))
+        np.testing.assert_array_equal(flip(batch), batch[:, :, :, ::-1])
+
+    def test_input_not_modified(self):
+        batch = make_batch()
+        before = batch.copy()
+        RandomHorizontalFlip(1.0, rng=RngFactory(0).make("f"))(batch)
+        np.testing.assert_array_equal(batch, before)
+
+    def test_roughly_p_fraction_flipped(self):
+        batch = make_batch(n=400)
+        flip = RandomHorizontalFlip(0.25, rng=RngFactory(0).make("f"))
+        out = flip(batch)
+        flipped = sum(
+            not np.array_equal(out[i], batch[i]) for i in range(400)
+        )
+        assert 60 < flipped < 140
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            RandomHorizontalFlip(1.5)
+
+
+class TestRandomCrop:
+    def test_shape_preserved(self):
+        batch = make_batch()
+        crop = RandomCrop(padding=2, rng=RngFactory(0).make("c"))
+        assert crop(batch).shape == batch.shape
+
+    def test_content_is_a_shifted_window(self):
+        """Every output is the input shifted by at most `padding` pixels
+        (with zeros entering at the border)."""
+        batch = np.ones((1, 1, 4, 4))
+        crop = RandomCrop(padding=2, rng=RngFactory(3).make("c"))
+        out = crop(batch)
+        # All values are 0 or 1, and the ones form a contiguous block.
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_deterministic_given_rng(self):
+        batch = make_batch()
+        a = RandomCrop(2, rng=RngFactory(1).make("c"))(batch)
+        b = RandomCrop(2, rng=RngFactory(1).make("c"))(batch)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_padding(self):
+        with pytest.raises(ConfigurationError):
+            RandomCrop(0)
+
+
+class TestComposeAndFlatten:
+    def test_compose_order(self):
+        batch = make_batch()
+        pipeline = Compose([
+            fit_normalizer(batch),
+            Flatten(),
+        ])
+        out = pipeline(batch)
+        assert out.shape == (8, 3 * 8 * 8)
+
+    def test_empty_compose_is_identity(self):
+        batch = make_batch()
+        np.testing.assert_array_equal(Compose([])(batch), batch)
+
+    def test_flatten(self):
+        assert Flatten()(make_batch()).shape == (8, 192)
+
+    def test_reprs(self):
+        pipeline = Compose([Flatten(), RandomCrop(2)])
+        assert "Flatten" in repr(pipeline)
+        assert "RandomCrop" in repr(pipeline)

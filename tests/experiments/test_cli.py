@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.command == "fig2"
+        assert args.attack == "random"
+
+    def test_rejects_unknown_attack(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--attack", "nope"])
+
+    def test_scale_flag(self):
+        args = build_parser().parse_args(["--scale", "paper", "fig4"])
+        assert args.scale == "paper"
+
+
+class TestCommands:
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2", "--attack", "zero"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2/zero" in output
+        assert "Fed-MS" in output
+
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3", "--epsilon", "0.2"]) == 0
+        assert "fig3" in capsys.readouterr().out
+
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "tv_distance" in capsys.readouterr().out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--alpha", "5"]) == 0
+        assert "fig5" in capsys.readouterr().out
+
+    def test_comm_runs(self, capsys):
+        assert main(["comm"]) == 0
+        output = capsys.readouterr().out
+        assert "sparse" in output
+        assert "full" in output
+
+    def test_convergence_runs(self, capsys):
+        assert main(["convergence", "--rounds", "24"]) == 0
+        assert "theorem1_bound" in capsys.readouterr().out
+
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart"]) == 0
+        assert "final" in capsys.readouterr().out
+
+    def test_scale_flag_overrides_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert main(["--scale", "smoke", "fig4"]) == 0
+        assert "'scale': 'smoke'" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Tests for multi-seed replication aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.experiments import Curve, FigureResult, replicate
+
+
+def fake_experiment(seed):
+    """Deterministic toy experiment: accuracy = 0.1 * seed at two rounds."""
+    return FigureResult(
+        "toy",
+        curves=[
+            Curve("A", [1, 2], [0.1 * seed, 0.1 * seed + 0.5]),
+            Curve("B", [1, 2], [0.0, 0.2]),
+        ],
+    )
+
+
+class TestReplicate:
+    def test_mean_and_std(self):
+        summary = replicate(fake_experiment, seeds=[1, 2, 3])
+        curve = summary.curve("A")
+        np.testing.assert_allclose(curve.mean_accuracies, [0.2, 0.7])
+        expected_std = np.std([0.1, 0.2, 0.3])
+        assert curve.std_accuracies[0] == pytest.approx(expected_std)
+        assert curve.num_seeds == 3
+
+    def test_constant_curve_has_zero_std(self):
+        summary = replicate(fake_experiment, seeds=[1, 2, 3])
+        np.testing.assert_allclose(summary.curve("B").std_accuracies, 0.0,
+                                   atol=1e-12)
+
+    def test_final_properties(self):
+        summary = replicate(fake_experiment, seeds=[1, 3])
+        curve = summary.curve("A")
+        assert curve.final_mean == pytest.approx(0.7)
+        low, high = curve.final_interval(num_std=1.0)
+        assert low == pytest.approx(0.7 - curve.final_std)
+        assert high == pytest.approx(0.7 + curve.final_std)
+
+    def test_raw_results_retained(self):
+        summary = replicate(fake_experiment, seeds=[1, 2])
+        assert len(summary.raw_results) == 2
+        assert summary.figure_id == "toy"
+
+    def test_unknown_label(self):
+        summary = replicate(fake_experiment, seeds=[1])
+        with pytest.raises(KeyError):
+            summary.curve("C")
+
+    def test_to_dict(self):
+        data = replicate(fake_experiment, seeds=[1, 2]).to_dict()
+        assert data["figure_id"] == "toy"
+        assert len(data["curves"]) == 2
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ConfigurationError):
+            replicate(fake_experiment, seeds=[])
+
+    def test_rejects_duplicate_seeds(self):
+        with pytest.raises(ConfigurationError):
+            replicate(fake_experiment, seeds=[1, 1])
+
+    def test_rejects_mismatched_labels(self):
+        def bad(seed):
+            label = "A" if seed == 1 else "Z"
+            return FigureResult("x", curves=[Curve(label, [1], [0.5])])
+
+        with pytest.raises(ConfigurationError):
+            replicate(bad, seeds=[1, 2])
+
+    def test_rejects_mismatched_rounds(self):
+        def bad(seed):
+            rounds = [1] if seed == 1 else [2]
+            return FigureResult("x", curves=[Curve("A", rounds, [0.5])])
+
+        with pytest.raises(ConfigurationError):
+            replicate(bad, seeds=[1, 2])
+
+    def test_integration_with_real_experiment(self):
+        """Replicating a real smoke-scale panel across two seeds works and
+        produces nonzero spread."""
+        from repro.experiments import SCALES, run_fig3_epsilon_panel
+
+        summary = replicate(
+            lambda seed: run_fig3_epsilon_panel(
+                0.2, scale=SCALES["smoke"], seed=seed),
+            seeds=[0, 1],
+        )
+        assert summary.curve("Fed-MS").num_seeds == 2
+        assert all(s >= 0 for s in summary.curve("Fed-MS").std_accuracies)

@@ -1,0 +1,169 @@
+"""GroupNorm unit tests plus property-based shape fuzzing of the layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError, RngFactory, ShapeError
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    GroupNorm,
+    Linear,
+    MaxPool2d,
+    check_layer_gradients,
+)
+from repro.nn.functional import conv_output_size
+
+
+@pytest.fixture()
+def rng():
+    return RngFactory(21).make("gn")
+
+
+class TestGroupNorm:
+    def test_output_shape(self, rng):
+        layer = GroupNorm(2, 6)
+        assert layer(rng.normal(size=(3, 6, 4, 4))).shape == (3, 6, 4, 4)
+
+    def test_normalizes_within_groups(self, rng):
+        layer = GroupNorm(2, 4)
+        out = layer(rng.normal(loc=7.0, scale=3.0, size=(2, 4, 8, 8)))
+        grouped = out.reshape(2, 2, -1)
+        np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-10)
+        np.testing.assert_allclose(grouped.std(axis=2), 1.0, atol=1e-3)
+
+    def test_no_batch_coupling(self, rng):
+        """Unlike BatchNorm, a sample's output is independent of its
+        batch-mates — the property that matters for federated non-IID data."""
+        layer = GroupNorm(1, 3)
+        x = rng.normal(size=(4, 3, 5, 5))
+        full = layer(x)
+        alone = layer(x[:1])
+        np.testing.assert_allclose(full[0], alone[0], atol=1e-12)
+
+    def test_batchnorm_is_batch_coupled(self, rng):
+        """Contrast check: BatchNorm2d output does depend on batch-mates."""
+        layer = BatchNorm2d(3)
+        x = rng.normal(size=(4, 3, 5, 5))
+        full = layer(x)
+        alone = layer(x[:1])
+        assert not np.allclose(full[0], alone[0])
+
+    def test_identical_in_train_and_eval(self, rng):
+        layer = GroupNorm(2, 4)
+        x = rng.normal(size=(2, 4, 4, 4))
+        train_out = layer(x)
+        layer.eval()
+        np.testing.assert_allclose(layer(x), train_out)
+
+    def test_no_buffers(self):
+        assert list(GroupNorm(2, 4).named_buffers()) == []
+
+    def test_gradcheck(self, rng):
+        layer = GroupNorm(2, 4)
+        x = rng.normal(size=(2, 4, 3, 3))
+        input_error, param_error = check_layer_gradients(layer, x)
+        assert input_error < 1e-5
+        assert param_error < 1e-5
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            GroupNorm(3, 4)  # not divisible
+        with pytest.raises(ConfigurationError):
+            GroupNorm(0, 4)
+        with pytest.raises(ShapeError):
+            GroupNorm(2, 4)(rng.normal(size=(2, 6, 3, 3)))
+
+
+class TestShapeContractsFuzz:
+    """Forward/backward shape contracts hold for arbitrary valid geometry."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batch=st.integers(1, 4),
+        in_features=st.integers(1, 16),
+        out_features=st.integers(1, 16),
+    )
+    def test_linear_shapes(self, batch, in_features, out_features):
+        rng = RngFactory(0).make(f"fuzz/{in_features}/{out_features}")
+        layer = Linear(in_features, out_features, rng=rng)
+        x = rng.normal(size=(batch, in_features))
+        out = layer(x)
+        assert out.shape == (batch, out_features)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batch=st.integers(1, 3),
+        in_channels=st.integers(1, 4),
+        out_channels=st.integers(1, 4),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 2),
+        size=st.integers(3, 10),
+    )
+    def test_conv2d_shapes(self, batch, in_channels, out_channels, kernel,
+                           stride, padding, size):
+        if size + 2 * padding < kernel:
+            return  # invalid geometry, covered by the error test below
+        rng = RngFactory(0).make("fuzz/conv")
+        layer = Conv2d(in_channels, out_channels, kernel, stride=stride,
+                       padding=padding, rng=rng)
+        x = rng.normal(size=(batch, in_channels, size, size))
+        out = layer(x)
+        expected = conv_output_size(size, kernel, stride, padding)
+        assert out.shape == (batch, out_channels, expected, expected)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        channels=st.integers(1, 5),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        size=st.integers(4, 10),
+    )
+    def test_depthwise_shapes(self, channels, kernel, stride, size):
+        rng = RngFactory(0).make("fuzz/dw")
+        layer = DepthwiseConv2d(channels, kernel, stride=stride, padding=1,
+                                rng=rng)
+        x = rng.normal(size=(2, channels, size, size))
+        out = layer(x)
+        expected = conv_output_size(size, kernel, stride, 1)
+        assert out.shape == (2, channels, expected, expected)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        kernel=st.integers(1, 3),
+        size=st.integers(4, 10),
+        pool=st.sampled_from(["max", "avg"]),
+    )
+    def test_pooling_shapes(self, kernel, size, pool):
+        rng = RngFactory(0).make("fuzz/pool")
+        layer = MaxPool2d(kernel) if pool == "max" else AvgPool2d(kernel)
+        x = rng.normal(size=(2, 3, size, size))
+        out = layer(x)
+        expected = conv_output_size(size, kernel, kernel, 0)
+        assert out.shape == (2, 3, expected, expected)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        groups=st.integers(1, 4),
+        multiplier=st.integers(1, 3),
+        size=st.integers(2, 8),
+    )
+    def test_groupnorm_shapes(self, groups, multiplier, size):
+        channels = groups * multiplier
+        rng = RngFactory(0).make("fuzz/gn")
+        layer = GroupNorm(groups, channels)
+        x = rng.normal(size=(2, channels, size, size))
+        out = layer(x)
+        assert out.shape == x.shape
+        assert layer.backward(np.ones_like(out)).shape == x.shape

@@ -1,0 +1,133 @@
+"""Tests for Adam, gradient clipping and the extra LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, RngFactory
+from repro.nn import (
+    Adam,
+    ConstantLR,
+    CosineAnnealing,
+    LinearWarmup,
+    Linear,
+    clip_grad_norm,
+)
+
+
+def make_layer(seed=0):
+    return Linear(3, 2, rng=RngFactory(seed).make("adam"))
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        layer = make_layer()
+        target = np.array([[1.0, -2.0], [0.5, 3.0], [0.0, 1.0]])
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            layer.weight.grad[...] = 2.0 * (layer.weight.data - target)
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, target, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, the first Adam step is ~lr * sign(grad)."""
+        layer = make_layer()
+        layer.weight.data[...] = 0.0
+        layer.weight.grad[...] = 5.0
+        Adam(layer.parameters(), lr=0.1).step()
+        np.testing.assert_allclose(layer.weight.data, -0.1, rtol=1e-6)
+
+    def test_decoupled_weight_decay(self):
+        layer = make_layer()
+        layer.weight.data[...] = 1.0
+        layer.weight.grad[...] = 0.0
+        layer.bias.data[...] = 1.0
+        opt = Adam(layer.parameters(), lr=0.1, weight_decay=0.5)
+        opt.step()
+        # grad = 0 -> only the decay acts: w <- w - lr * wd * w
+        np.testing.assert_allclose(layer.weight.data, 1.0 - 0.1 * 0.5)
+
+    def test_reset_state(self):
+        layer = make_layer()
+        opt = Adam(layer.parameters(), lr=0.1)
+        layer.weight.grad[...] = 1.0
+        opt.step()
+        opt.reset_state()
+        assert opt._step_count == 0
+        assert all(np.all(m == 0) for m in opt._first_moment)
+
+    def test_rejects_bad_hyperparameters(self):
+        layer = make_layer()
+        with pytest.raises(ConfigurationError):
+            Adam(layer.parameters(), lr=0.1, betas=(1.0, 0.999))
+        with pytest.raises(ConfigurationError):
+            Adam(layer.parameters(), lr=0.1, eps=0.0)
+        with pytest.raises(ConfigurationError):
+            Adam(layer.parameters(), lr=0.1, weight_decay=-1.0)
+
+
+class TestClipGradNorm:
+    def test_no_clipping_below_threshold(self):
+        layer = make_layer()
+        layer.weight.grad[...] = 0.01
+        before = layer.weight.grad.copy()
+        norm = clip_grad_norm(layer.parameters(), max_norm=100.0)
+        np.testing.assert_array_equal(layer.weight.grad, before)
+        assert norm < 100.0
+
+    def test_clips_to_max_norm(self):
+        layer = make_layer()
+        layer.weight.grad[...] = 100.0
+        layer.bias.grad[...] = 100.0
+        clip_grad_norm(layer.parameters(), max_norm=1.0)
+        total = sum(float(np.sum(p.grad ** 2)) for p in layer.parameters())
+        assert np.sqrt(total) == pytest.approx(1.0, rel=1e-6)
+
+    def test_returns_preclip_norm(self):
+        layer = make_layer()
+        layer.weight.grad[...] = 0.0
+        layer.bias.grad[...] = np.array([3.0, 4.0])
+        norm = clip_grad_norm(layer.parameters(), max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+
+    def test_rejects_bad_max_norm(self):
+        with pytest.raises(ConfigurationError):
+            clip_grad_norm(make_layer().parameters(), max_norm=0.0)
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        schedule = CosineAnnealing(1.0, total_steps=100, min_lr=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(500) == pytest.approx(0.1)  # clamped after the end
+
+    def test_halfway(self):
+        schedule = CosineAnnealing(1.0, total_steps=100)
+        assert schedule(50) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineAnnealing(1.0, total_steps=50)
+        values = [schedule(step) for step in range(51)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CosineAnnealing(0.0, total_steps=10)
+        with pytest.raises(ConfigurationError):
+            CosineAnnealing(1.0, total_steps=0)
+        with pytest.raises(ConfigurationError):
+            CosineAnnealing(1.0, total_steps=10, min_lr=2.0)
+
+
+class TestLinearWarmup:
+    def test_ramps_then_defers(self):
+        schedule = LinearWarmup(ConstantLR(1.0), warmup_steps=10)
+        assert schedule(0) == pytest.approx(0.1)
+        assert schedule(4) == pytest.approx(0.5)
+        assert schedule(10) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearWarmup(ConstantLR(1.0), warmup_steps=0)

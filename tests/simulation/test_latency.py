@@ -1,0 +1,121 @@
+"""Tests for latency models and synchronous round-time accounting."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, RngFactory
+from repro.core import FullUpload, SparseUpload
+from repro.simulation import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+    round_time,
+)
+
+
+@pytest.fixture()
+def rng():
+    return RngFactory(0).make("latency")
+
+
+class TestConstantLatency:
+    def test_base_plus_bandwidth(self, rng):
+        model = ConstantLatency(base=0.01, bandwidth_bytes_per_s=1000.0)
+        assert model.sample(size_bytes=500, rng=rng) == pytest.approx(0.51)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(base=-1.0)
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(bandwidth_bytes_per_s=0.0)
+
+
+class TestUniformLatency:
+    def test_in_range(self, rng):
+        model = UniformLatency(0.1, 0.2, bandwidth_bytes_per_s=1e12)
+        samples = [model.sample(size_bytes=8, rng=rng) for _ in range(200)]
+        assert all(0.1 <= s <= 0.2 + 1e-9 for s in samples)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(0.2, 0.1)
+
+
+class TestLogNormalLatency:
+    def test_median_roughly_matches(self, rng):
+        model = LogNormalLatency(median=0.05, sigma=0.5,
+                                 bandwidth_bytes_per_s=1e12)
+        samples = [model.sample(size_bytes=8, rng=rng) for _ in range(3000)]
+        assert np.median(samples) == pytest.approx(0.05, rel=0.1)
+
+    def test_heavy_tail(self, rng):
+        model = LogNormalLatency(median=0.05, sigma=1.0,
+                                 bandwidth_bytes_per_s=1e12)
+        samples = [model.sample(size_bytes=8, rng=rng) for _ in range(3000)]
+        assert max(samples) > 10 * np.median(samples)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalLatency(median=0.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalLatency(sigma=0.0)
+
+
+class TestRoundTime:
+    def _assignment(self, strategy, num_clients=10, num_servers=5, seed=0):
+        return strategy.assign(num_clients, num_servers,
+                               rng=RngFactory(seed).make("assign"))
+
+    def test_breakdown_sums_to_total(self, rng):
+        assignment = self._assignment(SparseUpload())
+        total, breakdown = round_time(
+            assignment, model_bytes=1000, latency=ConstantLatency(),
+            num_servers=5, rng=rng, compute_seconds=1.5,
+        )
+        assert total == pytest.approx(sum(breakdown.values()))
+        assert breakdown["compute"] == 1.5
+
+    def test_full_upload_slower_than_sparse(self, rng):
+        """Per-client sequential uplink: P uploads take ~P times longer."""
+        sparse_total, sparse_parts = round_time(
+            self._assignment(SparseUpload()), model_bytes=1000,
+            latency=ConstantLatency(base=0.1), num_servers=5,
+            rng=RngFactory(1).make("a"),
+        )
+        full_total, full_parts = round_time(
+            self._assignment(FullUpload()), model_bytes=1000,
+            latency=ConstantLatency(base=0.1), num_servers=5,
+            rng=RngFactory(1).make("b"),
+        )
+        assert full_parts["upload"] == pytest.approx(
+            5 * sparse_parts["upload"]
+        )
+        assert full_total > sparse_total
+
+    def test_stragglers_dominate_with_heavy_tail(self):
+        """The synchronous barrier waits for the slowest draw, so the round
+        time under a heavy-tailed model exceeds the median link by a lot."""
+        model = LogNormalLatency(median=0.05, sigma=1.0,
+                                 bandwidth_bytes_per_s=1e12)
+        total, parts = round_time(
+            self._assignment(SparseUpload(), num_clients=50),
+            model_bytes=8, latency=model, num_servers=10,
+            rng=RngFactory(2).make("c"),
+        )
+        assert parts["dissemination"] > 3 * 0.05
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            round_time([], model_bytes=8, latency=ConstantLatency(),
+                       num_servers=1, rng=rng)
+        with pytest.raises(ConfigurationError):
+            round_time([[0]], model_bytes=0, latency=ConstantLatency(),
+                       num_servers=1, rng=rng)
+        with pytest.raises(ConfigurationError):
+            round_time([[0]], model_bytes=8, latency=ConstantLatency(),
+                       num_servers=1, rng=rng, compute_seconds=-1.0)
+
+    def test_base_model_abstract(self, rng):
+        with pytest.raises(NotImplementedError):
+            LatencyModel().sample(size_bytes=1, rng=rng)

@@ -1,0 +1,73 @@
+"""Tests for empirical power-law rate fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError
+from repro.theory import PowerLawFit, fit_power_law, halving_steps
+
+
+class TestFitPowerLaw:
+    def test_exact_one_over_t(self):
+        steps = np.arange(1, 50, dtype=float)
+        fit = fit_power_law(steps, 5.0 / steps)
+        assert fit.exponent == pytest.approx(-1.0)
+        assert fit.coefficient == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_inverse_sqrt(self):
+        steps = np.arange(1, 50, dtype=float)
+        fit = fit_power_law(steps, 2.0 / np.sqrt(steps))
+        assert fit.exponent == pytest.approx(-0.5)
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(0)
+        steps = np.arange(1, 200, dtype=float)
+        values = 3.0 / steps * np.exp(rng.normal(scale=0.05, size=steps.size))
+        fit = fit_power_law(steps, values)
+        assert fit.exponent == pytest.approx(-1.0, abs=0.05)
+        assert fit.r_squared > 0.98
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=-1.0, coefficient=10.0, r_squared=1.0)
+        assert fit.predict(5.0) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            fit.predict(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, 2.0], [1.0, 0.5])  # too few points
+        with pytest.raises(ConfigurationError):
+            fit_power_law([0.0, 1.0, 2.0], [1.0, 1.0, 1.0])  # zero step
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, -1.0, 1.0])  # negative value
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, 2.0])  # shape mismatch
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        exponent=st.floats(-2.0, -0.1),
+        coefficient=st.floats(0.1, 100.0),
+    )
+    def test_recovers_arbitrary_power_laws(self, exponent, coefficient):
+        steps = np.linspace(1.0, 100.0, 40)
+        values = coefficient * steps ** exponent
+        fit = fit_power_law(steps, values)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+        assert fit.coefficient == pytest.approx(coefficient, rel=1e-6)
+
+
+class TestHalvingSteps:
+    def test_one_over_t_halves_on_doubling(self):
+        steps = np.arange(1, 100, dtype=float)
+        assert halving_steps(steps, 1.0 / steps) == pytest.approx(2.0)
+
+    def test_inverse_sqrt_needs_quadrupling(self):
+        steps = np.arange(1, 100, dtype=float)
+        assert halving_steps(steps, 1.0 / np.sqrt(steps)) == pytest.approx(4.0)
+
+    def test_non_decaying_is_infinite(self):
+        steps = np.arange(1, 50, dtype=float)
+        assert halving_steps(steps, steps) == float("inf")
