@@ -4,6 +4,7 @@ from .registry import AggregationRule, available_rules, make_rule
 from .rules import (
     bulyan,
     coordinate_median,
+    degraded_trim_count,
     geometric_median,
     krum,
     krum_index,
@@ -11,12 +12,15 @@ from .rules import (
     multi_krum,
     trim_count,
     trimmed_mean,
+    trimmed_mean_by_count,
 )
 
 __all__ = [
     "mean",
     "trimmed_mean",
+    "trimmed_mean_by_count",
     "trim_count",
+    "degraded_trim_count",
     "coordinate_median",
     "geometric_median",
     "krum",

@@ -22,7 +22,9 @@ from ..common.errors import ConfigurationError, ConvergenceError, ShapeError
 __all__ = [
     "mean",
     "trimmed_mean",
+    "trimmed_mean_by_count",
     "trim_count",
+    "degraded_trim_count",
     "coordinate_median",
     "geometric_median",
     "krum",
@@ -64,6 +66,62 @@ def trim_count(num_models: int, trim_ratio: float) -> int:
     return count
 
 
+def degraded_trim_count(num_received: int, expected_models: int,
+                        trim_ratio: float) -> Optional[int]:
+    """Per-tail trim count for a degraded quorum of ``q <= P`` models.
+
+    Under faults a client can receive only ``q < P`` global models, yet up
+    to ``B = floor(trim_ratio * P)`` of them may still be Byzantine — the
+    adversary does not crash with the benign PSs. The sound filter
+    therefore keeps the *absolute* tolerance of the full quorum: trim
+    ``B`` per tail whenever that leaves a benign majority (``2B < q``),
+    and report infeasibility (``None``) when ``q <= 2B`` — the caller then
+    falls back to its previous feasible model rather than aggregate a
+    stack the adversary could control.
+
+    >>> degraded_trim_count(10, 10, 0.2)  # full quorum: the usual B = 2
+    2
+    >>> degraded_trim_count(5, 10, 0.2)   # q = 2B + 1: still feasible
+    2
+    >>> degraded_trim_count(4, 10, 0.2) is None  # q = 2B: infeasible
+    True
+    """
+    if num_received <= 0:
+        raise ConfigurationError(
+            f"num_received must be positive, got {num_received}"
+        )
+    if num_received > expected_models:
+        raise ConfigurationError(
+            f"received {num_received} models but only {expected_models} "
+            f"were expected"
+        )
+    full = trim_count(expected_models, trim_ratio)
+    if 2 * full >= num_received:
+        return None
+    return full
+
+
+def trimmed_mean_by_count(stack: np.ndarray, count: int) -> np.ndarray:
+    """Trimmed mean with an explicit per-tail count instead of a ratio.
+
+    The degraded-quorum filter path trims ``floor(beta * P)`` entries from
+    a stack of only ``q < P`` rows (see :func:`degraded_trim_count`), a
+    combination no ratio expresses exactly.
+    """
+    stack = _check_stack(stack)
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if 2 * count >= stack.shape[0]:
+        raise ConfigurationError(
+            f"trimming {count} from each tail of {stack.shape[0]} models "
+            f"leaves nothing"
+        )
+    if count == 0:
+        return stack.mean(axis=0)
+    ordered = np.sort(stack, axis=0)
+    return ordered[count:stack.shape[0] - count].mean(axis=0)
+
+
 def trimmed_mean(stack: np.ndarray, trim_ratio: float) -> np.ndarray:
     """The paper's ``trmean_beta`` model filter.
 
@@ -89,7 +147,7 @@ def coordinate_median(stack: np.ndarray) -> np.ndarray:
 
 
 def geometric_median(stack: np.ndarray, *, tolerance: float = 1e-9,
-                     max_iterations: int = 5000,
+                     max_iterations: int = 20000,
                      smoothing: float = 1e-6) -> np.ndarray:
     """Smoothed geometric median via Weiszfeld iteration.
 
@@ -103,7 +161,10 @@ def geometric_median(stack: np.ndarray, *, tolerance: float = 1e-9,
 
     Raises :class:`ConvergenceError` if the iteration exceeds
     ``max_iterations`` without meeting the (scale-relative) step or
-    objective-stall tolerance.
+    objective-stall tolerance. The default cap leaves headroom for
+    Weiszfeld's sublinear crawl toward a *repeated* data point that is
+    itself the optimum, which needs several thousand iterations to enter
+    the smoothing neighbourhood.
     """
     stack = _check_stack(stack)
     if stack.shape[0] == 1:

@@ -9,6 +9,7 @@ Usage::
     python -m repro comm
     python -m repro convergence --rounds 120
     python -m repro ablation
+    python -m repro faults --loss-rate 0.2 --crashes 2
     python -m repro quickstart
 
 Scale is controlled by ``REPRO_BENCH_SCALE`` (smoke/reduced/paper) or the
@@ -29,6 +30,7 @@ from .experiments import (
     format_figure,
     run_comm_cost,
     run_convergence_rate,
+    run_fault_tolerance,
     run_fig2_attack_panel,
     run_fig3_epsilon_panel,
     run_fig4_heterogeneity,
@@ -74,6 +76,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("ablation", help="model-filter ablation")
 
+    faults = commands.add_parser(
+        "faults", help="PS crash/recovery + packet loss on top of Byzantine "
+                       "PSs (extension)")
+    faults.add_argument("--loss-rate", type=float, default=0.1,
+                        help="i.i.d. packet-loss probability (default 0.1)")
+    faults.add_argument("--crashes", type=int, default=2,
+                        help="number of PS crashes; the first is permanent, "
+                             "the rest recover (default 2)")
+    faults.add_argument("--attack", default="noise",
+                        choices=available_attacks())
+
     commands.add_parser("quickstart", help="tiny end-to-end demo run")
 
     commands.add_parser(
@@ -118,6 +131,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    num_byzantine=args.byzantine, seed=seed))
     elif args.command == "ablation":
         _emit(run_filter_ablation(scale=scale, seed=seed))
+    elif args.command == "faults":
+        _emit(run_fault_tolerance(loss_rate=args.loss_rate,
+                                  num_crashes=args.crashes,
+                                  attack_name=args.attack,
+                                  scale=scale, seed=seed))
     elif args.command == "quickstart":
         from . import quick_fed_ms_run
 

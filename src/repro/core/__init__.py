@@ -1,7 +1,7 @@
 """The Fed-MS algorithm: clients, parameter servers, training loop."""
 
 from .client import Client
-from .config import FedMSConfig
+from .config import FaultConfig, FedMSConfig
 from .hierarchical import HierarchicalTrainer
 from .history import RoundRecord, TrainingHistory
 from .server import ByzantineParameterServer, ParameterServer
@@ -9,6 +9,7 @@ from .trainer import FedMSTrainer, make_fedavg_trainer
 from .upload import (
     FullUpload,
     MultiUpload,
+    RetryPolicy,
     SparseUpload,
     UploadStrategy,
     make_upload_strategy,
@@ -16,6 +17,8 @@ from .upload import (
 
 __all__ = [
     "FedMSConfig",
+    "FaultConfig",
+    "RetryPolicy",
     "Client",
     "ParameterServer",
     "ByzantineParameterServer",

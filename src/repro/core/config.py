@@ -19,7 +19,48 @@ from ..common.validation import (
     require,
 )
 
-__all__ = ["FedMSConfig"]
+__all__ = ["FaultConfig", "FedMSConfig"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs for graceful degradation under faults.
+
+    Parameters
+    ----------
+    round_deadline_s:
+        The synchronous round barrier, in simulated seconds. A straggling
+        PS whose extra delay exceeds this misses the round (its
+        disseminations are dropped as deadline misses), and any traffic
+        still queued when the round closes is expired and counted under
+        ``cleared_total``.
+    max_upload_retries:
+        Retry budget per upload. The first retry re-sends to the same PS
+        (the loss may be transient); later retries re-sample a uniformly
+        random alive PS, preserving the sparse strategy's uniform-choice
+        property. Retries are counted in ``TrafficStats.retries_by_tag``
+        so the ``O(K)`` accounting stays honest.
+    retry_backoff_s:
+        Simulated backoff before the first retry.
+    backoff_factor:
+        Multiplier applied to the backoff on each successive retry
+        (exponential backoff).
+    """
+
+    round_deadline_s: float = 1.0
+    max_upload_retries: int = 2
+    retry_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        require(self.round_deadline_s > 0,
+                f"round_deadline_s must be positive, got "
+                f"{self.round_deadline_s}")
+        check_nonnegative_int(self.max_upload_retries, "max_upload_retries")
+        require(self.retry_backoff_s >= 0,
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}")
+        require(self.backoff_factor >= 1.0,
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
 
 
 @dataclass
@@ -63,6 +104,11 @@ class FedMSConfig:
         How many client models are evaluated (and averaged) when measuring
         test accuracy. After the filter step all clients hold nearly
         identical models, so a small sample is an accurate estimate.
+    faults:
+        Graceful-degradation knobs (round deadline, upload retry budget
+        and backoff); defaults are used when ``None``. The fault *events*
+        themselves live in a
+        :class:`~repro.simulation.faults.FaultPlan` passed to the trainer.
     seed:
         Root seed for every random stream in the run.
     """
@@ -79,6 +125,7 @@ class FedMSConfig:
     include_buffers: bool = True
     participation_fraction: float = 1.0
     eval_clients: int = 3
+    faults: Optional[FaultConfig] = None
     seed: int = 0
 
     resolved_trim_ratio: float = field(init=False, repr=False)
@@ -107,12 +154,19 @@ class FedMSConfig:
         require(self.eval_clients <= self.num_clients,
                 f"eval_clients={self.eval_clients} exceeds "
                 f"num_clients={self.num_clients}")
+        require(self.faults is None or isinstance(self.faults, FaultConfig),
+                f"faults must be a FaultConfig, got {type(self.faults)}")
         if self.trim_ratio is None:
             self.resolved_trim_ratio = self.num_byzantine / self.num_servers
         else:
             self.resolved_trim_ratio = check_fraction(
                 self.trim_ratio, "trim_ratio", upper=0.5, inclusive_upper=False
             )
+
+    @property
+    def resolved_faults(self) -> "FaultConfig":
+        """The fault knobs in effect (defaults when ``faults is None``)."""
+        return self.faults if self.faults is not None else FaultConfig()
 
     @property
     def participants_per_round(self) -> int:

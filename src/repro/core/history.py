@@ -14,6 +14,14 @@ class RoundRecord:
 
     ``test_accuracy``/``test_loss`` are ``None`` on rounds where evaluation
     was skipped (see the trainer's ``eval_every``).
+
+    The availability fields record how the round degraded under faults:
+    ``models_received`` maps each participating client to the number of
+    global models it actually obtained this round (``P`` when everything
+    was delivered), ``degraded_clients`` lists clients that filtered a
+    reduced quorum with the recomputed trim count, and
+    ``fallback_clients`` lists clients that kept their previous feasible
+    model because the quorum was too small (``q <= 2B``) or empty.
     """
 
     round_index: int
@@ -23,6 +31,26 @@ class RoundRecord:
     upload_messages: int = 0
     dissemination_messages: int = 0
     upload_bytes: int = 0
+    upload_retries: int = 0
+    upload_failures: int = 0
+    cleared_messages: int = 0
+    alive_servers: Optional[int] = None
+    models_received: Dict[int, int] = field(default_factory=dict)
+    degraded_clients: List[int] = field(default_factory=list)
+    fallback_clients: List[int] = field(default_factory=list)
+    fault_events: List[str] = field(default_factory=list)
+
+    @property
+    def min_models_received(self) -> Optional[int]:
+        """Smallest per-client quorum this round (``None`` if unrecorded)."""
+        if not self.models_received:
+            return None
+        return min(self.models_received.values())
+
+    @property
+    def degraded(self) -> bool:
+        """True when any client filtered a reduced quorum or fell back."""
+        return bool(self.degraded_clients or self.fallback_clients)
 
 
 @dataclass
@@ -75,6 +103,25 @@ class TrainingHistory:
     def total_upload_bytes(self) -> int:
         return sum(r.upload_bytes for r in self.records)
 
+    @property
+    def total_upload_retries(self) -> int:
+        return sum(r.upload_retries for r in self.records)
+
+    @property
+    def total_upload_failures(self) -> int:
+        return sum(r.upload_failures for r in self.records)
+
+    @property
+    def degraded_rounds(self) -> List[int]:
+        """Rounds where some client filtered fewer than ``P`` models or
+        fell back to its previous feasible model."""
+        return [r.round_index for r in self.records if r.degraded]
+
+    @property
+    def min_models_received_per_round(self) -> List[Optional[int]]:
+        """Per-round minimum quorum across clients, in round order."""
+        return [r.min_models_received for r in self.records]
+
     def to_dict(self) -> Dict[str, object]:
         """A json-ready summary of the run."""
         return {
@@ -87,4 +134,9 @@ class TrainingHistory:
             "accuracies": self.accuracies,
             "total_upload_messages": self.total_upload_messages,
             "total_upload_bytes": self.total_upload_bytes,
+            "total_upload_retries": self.total_upload_retries,
+            "total_upload_failures": self.total_upload_failures,
+            "degraded_rounds": self.degraded_rounds,
+            "min_models_received_per_round":
+                self.min_models_received_per_round,
         }

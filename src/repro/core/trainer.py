@@ -4,17 +4,33 @@
 (:mod:`repro.core.client`) train locally and upload through the simulated
 edge network (:mod:`repro.simulation`) to benign and Byzantine parameter
 servers (:mod:`repro.core.server`, :mod:`repro.attacks`); each client then
-filters the ``P`` received global models with the beta-trimmed mean
+filters the received global models with the beta-trimmed mean
 (:mod:`repro.aggregation`) to obtain its next feasible global model.
+
+The round itself is structured as named phases on a
+:class:`~repro.simulation.scheduler.RoundScheduler` (train, upload,
+aggregate, disseminate, filter), with an optional
+:class:`~repro.simulation.faults.FaultInjector` driven as a per-round hook.
+Under faults the loop degrades instead of crashing: failed uploads retry
+with bounded backoff and re-sample an alive PS, crashed PSs simply miss
+rounds, and a client receiving only ``q < P`` models filters them with the
+degraded-quorum trim count (falling back to its previous feasible model
+when ``q`` is too small to out-vote the Byzantine PSs).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..aggregation import AggregationRule, make_rule
+from ..aggregation import (
+    AggregationRule,
+    degraded_trim_count,
+    make_rule,
+    trimmed_mean_by_count,
+)
 from ..attacks.base import Attack
 from ..attacks.client_attacks import ClientAttack, ClientAttackContext
 from ..common.errors import ConfigurationError, ProtocolError
@@ -23,16 +39,39 @@ from ..data.datasets import ArrayDataset
 from ..nn.module import Module
 from ..nn.schedules import LRSchedule
 from ..nn.serialization import from_vector, to_vector
+from ..simulation.faults import FaultInjector
 from ..simulation.network import Message, Network, NodeId
+from ..simulation.scheduler import RoundScheduler
 from .client import Client
 from .config import FedMSConfig
 from .history import RoundRecord, TrainingHistory
 from .server import ByzantineParameterServer, ParameterServer
-from .upload import UploadStrategy, make_upload_strategy
+from .upload import RetryPolicy, UploadStrategy, make_upload_strategy
 
 __all__ = ["FedMSTrainer", "make_fedavg_trainer"]
 
 ModelFactory = Callable[[np.random.Generator], Module]
+
+
+@dataclass
+class _RoundState:
+    """Working state threaded through the phases of one round."""
+
+    participants: List[Client] = field(default_factory=list)
+    active_clients: List[Client] = field(default_factory=list)
+    vectors: Dict[int, np.ndarray] = field(default_factory=dict)
+    start_vectors: Dict[int, np.ndarray] = field(default_factory=dict)
+    train_loss: float = float("nan")
+    all_aggregates: Optional[np.ndarray] = None
+    broadcast_cache: Dict[int, np.ndarray] = field(default_factory=dict)
+    fault_events: List[str] = field(default_factory=list)
+    alive_server_ids: List[int] = field(default_factory=list)
+    upload_retries: int = 0
+    upload_failures: int = 0
+    backoff_s: float = 0.0
+    models_received: Dict[int, int] = field(default_factory=dict)
+    degraded_clients: List[int] = field(default_factory=list)
+    fallback_clients: List[int] = field(default_factory=list)
 
 
 class FedMSTrainer:
@@ -70,6 +109,12 @@ class FedMSTrainer:
     network:
         The simulated transport; a fresh loss-free :class:`Network` by
         default. Supply one with failure injection for robustness studies.
+    fault_injector:
+        Optional deterministic fault schedule (PS crashes, stragglers,
+        client dropouts, link partitions). The injector is registered as a
+        per-round scheduler hook and as a drop rule on the network; the
+        degradation knobs (deadline, retry budget) come from
+        ``config.faults``.
     client_attack / num_byzantine_clients / byzantine_client_ids:
         The future-work extension: Byzantine *clients* that tamper with the
         local model they upload. Placement defaults to a uniformly random
@@ -91,6 +136,7 @@ class FedMSTrainer:
                  weight_decay: float = 0.0,
                  flatten_inputs: bool = False,
                  network: Optional[Network] = None,
+                 fault_injector: Optional[FaultInjector] = None,
                  client_attack: Optional[ClientAttack] = None,
                  num_byzantine_clients: int = 0,
                  byzantine_client_ids: Optional[Sequence[int]] = None,
@@ -125,11 +171,35 @@ class FedMSTrainer:
             filter_rule if filter_rule is not None
             else make_rule("trimmed_mean", trim_ratio=config.resolved_trim_ratio)
         )
+        # The degraded-quorum path recomputes the trim count from the
+        # configured beta; a custom filter rule is an opaque closure, so
+        # degraded stacks are then handed to it unchanged.
+        self._degraded_trim_ratio: Optional[float] = (
+            config.resolved_trim_ratio if filter_rule is None else None
+        )
+
+        self.fault_config = config.resolved_faults
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.plan.validate_topology(
+                num_clients=config.num_clients,
+                num_servers=config.num_servers,
+            )
+            if fault_injector.round_deadline_s is None:
+                fault_injector.round_deadline_s = \
+                    self.fault_config.round_deadline_s
+            self.network.add_drop_rule(fault_injector.should_drop)
+        self.retry_policy = RetryPolicy(
+            max_retries=self.fault_config.max_upload_retries,
+            base_backoff_s=self.fault_config.retry_backoff_s,
+            backoff_factor=self.fault_config.backoff_factor,
+        )
 
         # Shared initial model w_0 (Algorithm 1, line 6).
         init_model = model_factory(self.rngs.make("init/global"))
         initial_vector = to_vector(init_model,
                                    include_buffers=config.include_buffers)
+        self._initial_vector = initial_vector
 
         self.clients: List[Client] = []
         for k in range(config.num_clients):
@@ -174,8 +244,20 @@ class FedMSTrainer:
 
         self._assignment_rng = self.rngs.make("upload/assignment")
         self._participation_rng = self.rngs.make("participation")
+        self._retry_rng = self.rngs.make("upload/retry")
         self.history = TrainingHistory()
-        self._round_index = 0
+
+        # Algorithm 1's three synchronized stages, as scheduler phases
+        # (per-phase wall-clock lands in ``scheduler.phase_seconds``).
+        self.scheduler = RoundScheduler()
+        if fault_injector is not None:
+            self.scheduler.add_round_hook(self._begin_round_faults)
+        self.scheduler.add_phase("train", self._phase_train)
+        self.scheduler.add_phase("upload", self._phase_upload)
+        self.scheduler.add_phase("aggregate", self._phase_aggregate)
+        self.scheduler.add_phase("disseminate", self._phase_disseminate)
+        self.scheduler.add_phase("filter", self._phase_filter)
+        self._round: Optional[_RoundState] = None
 
     def _resolve_byzantine_ids(self,
                                byzantine_ids: Optional[Sequence[int]]) -> frozenset:
@@ -225,14 +307,66 @@ class FedMSTrainer:
 
     def run_round(self, *, evaluate: bool = True) -> RoundRecord:
         """Execute local training, aggregation, dissemination and filtering."""
-        config = self.config
-        t = self._round_index
-        bytes_before = self.network.stats.bytes_by_tag.get("upload", 0)
-        messages_before = self.network.stats.messages_by_tag.get("upload", 0)
+        stats = self.network.stats
+        bytes_before = stats.bytes_by_tag.get("upload", 0)
+        messages_before = stats.messages_by_tag.get("upload", 0)
+        dissemination_before = stats.messages_by_tag.get("dissemination", 0)
 
-        # Stage 1+2 (client side): local training, then sparse upload.
-        # With partial participation only a sampled subset trains and
-        # uploads this round; everyone still receives and filters.
+        state = self._round = _RoundState()
+        t = self.scheduler.run_round()
+        # Round deadline: whatever is still queued (e.g. models addressed
+        # to offline clients) expires here and is counted as cleared.
+        cleared = self.network.clear()
+
+        record = RoundRecord(
+            round_index=t,
+            train_loss=state.train_loss,
+            upload_messages=(
+                stats.messages_by_tag.get("upload", 0) - messages_before
+            ),
+            upload_bytes=(
+                stats.bytes_by_tag.get("upload", 0) - bytes_before
+            ),
+            dissemination_messages=(
+                stats.messages_by_tag.get("dissemination", 0)
+                - dissemination_before
+            ),
+            upload_retries=state.upload_retries,
+            upload_failures=state.upload_failures,
+            cleared_messages=cleared,
+            alive_servers=len(state.alive_server_ids),
+            models_received=dict(state.models_received),
+            degraded_clients=sorted(state.degraded_clients),
+            fallback_clients=sorted(state.fallback_clients),
+            fault_events=list(state.fault_events),
+        )
+        if evaluate:
+            record.test_loss, record.test_accuracy = self._evaluate()
+        self.history.append(record)
+        self._round = None
+        return record
+
+    # -- round hook + phases -------------------------------------------------
+
+    def _begin_round_faults(self, t: int) -> None:
+        assert self.fault_injector is not None and self._round is not None
+        self._round.fault_events = self.fault_injector.begin_round(t)
+
+    def _alive_server_ids(self) -> List[int]:
+        if self.fault_injector is None:
+            return list(range(self.config.num_servers))
+        return self.fault_injector.alive_servers(self.config.num_servers)
+
+    def _phase_train(self, t: int) -> None:
+        """Stage 1 (client side): local training on this round's cohort.
+
+        With partial participation only a sampled subset trains and
+        uploads; dropped-out clients sit the round out entirely.
+        """
+        config = self.config
+        state = self._round
+        assert state is not None
+        state.alive_server_ids = self._alive_server_ids()
         if config.participation_fraction < 1.0:
             chosen = self._participation_rng.choice(
                 config.num_clients, size=config.participants_per_round,
@@ -240,16 +374,21 @@ class FedMSTrainer:
             )
             participants = [self.clients[int(i)] for i in np.sort(chosen)]
         else:
-            participants = self.clients
-        assignment = self.upload_strategy.assign(
-            len(participants), config.num_servers, rng=self._assignment_rng
-        )
-        for client, targets in zip(participants, assignment):
-            start_vector = (client.model_vector()
-                            if client.client_id in self.byzantine_client_ids
-                            else None)
+            participants = list(self.clients)
+        if self.fault_injector is not None:
+            participants = [
+                client for client in participants
+                if self.fault_injector.client_active(client.client_id)
+            ]
+        state.participants = participants
+        for client in participants:
+            # The pre-training vector is the client's previous feasible
+            # model — the fallback target when this round's quorum turns
+            # out to be too small to filter safely.
+            start_vector = client.model_vector()
+            state.start_vectors[client.client_id] = start_vector
             vector = client.local_train(t, config.local_steps)
-            if start_vector is not None:
+            if client.client_id in self.byzantine_client_ids:
                 assert self.client_attack is not None
                 vector = self.client_attack.tamper(ClientAttackContext(
                     round_index=t,
@@ -258,33 +397,104 @@ class FedMSTrainer:
                     global_model=start_vector,
                     rng=self._client_attack_rngs[client.client_id],
                 ))
-            for server_index in targets:
-                self.network.send(Message(
-                    NodeId.client(client.client_id),
-                    NodeId.server(server_index),
-                    vector,
-                    tag="upload",
-                    round_index=t,
-                ))
+            state.vectors[client.client_id] = vector
+        if participants:
+            state.train_loss = float(np.mean(
+                [client.last_train_loss for client in participants]
+            ))
 
-        # Stage 2 (server side): honest aggregation on every PS.
+    def _phase_upload(self, t: int) -> None:
+        """Stage 2 (client side): sparse upload with bounded retry."""
+        state = self._round
+        assert state is not None
+        assignment = self.upload_strategy.assign(
+            len(state.participants), self.config.num_servers,
+            rng=self._assignment_rng,
+        )
+        for client, targets in zip(state.participants, assignment):
+            vector = state.vectors[client.client_id]
+            for server_index in targets:
+                self._upload_with_retry(
+                    client.client_id, vector, server_index, t, state
+                )
+
+    def _upload_with_retry(self, client_id: int, vector: np.ndarray,
+                           target: int, t: int, state: _RoundState) -> bool:
+        """Send one upload, retrying per the policy on failure.
+
+        The successful send is the only one counted as an upload message
+        (the ``O(K)`` accounting); failed attempts are attributed as drops
+        and the retry attempts as ``retries_by_tag["upload"]``.
+        """
+        if self.network.send(Message(
+            NodeId.client(client_id), NodeId.server(target), vector,
+            tag="upload", round_index=t,
+        )):
+            return True
+        policy = self.retry_policy
+        current = target
+        for attempt in range(1, policy.max_retries + 1):
+            self.network.stats.record_retry("upload")
+            state.upload_retries += 1
+            state.backoff_s += policy.backoff_s(attempt)
+            next_target = policy.next_target(
+                attempt, current, state.alive_server_ids, rng=self._retry_rng
+            )
+            if next_target is None:
+                break
+            current = next_target
+            if self.network.send(Message(
+                NodeId.client(client_id), NodeId.server(current), vector,
+                tag="upload", round_index=t,
+            )):
+                return True
+        state.upload_failures += 1
+        return False
+
+    def _phase_aggregate(self, t: int) -> None:
+        """Stage 2 (server side): honest aggregation on every alive PS.
+
+        A crashed PS misses the round entirely — it neither drains its
+        queue (uploads to it were already lost in transit) nor appends to
+        its aggregate history, so on recovery it resumes from its last
+        pre-crash aggregate like a rebooted cache.
+        """
+        state = self._round
+        assert state is not None
+        alive = set(state.alive_server_ids)
         for server in self.servers:
+            if server.server_id not in alive:
+                continue
             uploads = [m.payload for m in
                        self.network.receive(NodeId.server(server.server_id))]
             server.aggregate(uploads)
-        all_aggregates = np.stack(
-            [server.current_aggregate for server in self.servers]
-        )
+        # The adversary's view (Safeguard/Backward attacks) keeps the full
+        # P-row shape; a crashed PS that never aggregated contributes w_0.
+        state.all_aggregates = np.stack([
+            server.aggregate_history[-1] if server.aggregate_history
+            else self._initial_vector
+            for server in self.servers
+        ])
 
-        # Stage 3: dissemination (tampered on Byzantine PSs) and filtering.
-        train_loss = float(np.mean(
-            [client.last_train_loss for client in participants]
-        ))
-        broadcast_cache: Dict[int, np.ndarray] = {}
+    def _phase_disseminate(self, t: int) -> None:
+        """Stage 3 (server side): every alive PS sends to every online client."""
+        state = self._round
+        assert state is not None
+        alive = set(state.alive_server_ids)
+        if self.fault_injector is None:
+            state.active_clients = list(self.clients)
+        else:
+            state.active_clients = [
+                client for client in self.clients
+                if self.fault_injector.client_active(client.client_id)
+            ]
         for client in self.clients:
             for server in self.servers:
+                if server.server_id not in alive:
+                    continue
                 model = self._disseminated_model(
-                    server, client.client_id, t, all_aggregates, broadcast_cache
+                    server, client.client_id, t, state.all_aggregates,
+                    state.broadcast_cache,
                 )
                 self.network.send(Message(
                     NodeId.server(server.server_id),
@@ -293,43 +503,63 @@ class FedMSTrainer:
                     tag="dissemination",
                     round_index=t,
                 ))
-        shared_filtered = self._shared_filtered_model(broadcast_cache)
-        for client in self.clients:
+
+    def _phase_filter(self, t: int) -> None:
+        """Stage 3 (client side): the Def() filter, quorum-aware."""
+        state = self._round
+        assert state is not None
+        config = self.config
+        shared_filtered = self._shared_filtered_model(state.broadcast_cache)
+        expected = config.num_servers
+        for client in state.active_clients:
             received = [
-                message.payload
-                for message in self.network.receive(NodeId.client(client.client_id))
+                message.payload for message in
+                self.network.receive(NodeId.client(client.client_id))
             ]
+            quorum = len(received)
+            state.models_received[client.client_id] = quorum
             if shared_filtered is not None:
                 # Every client received the identical stack; adopt the
-                # precomputed filter output instead of recomputing it K times.
+                # precomputed filter output instead of recomputing it K
+                # times.
                 client.set_model_vector(shared_filtered)
                 client.optimizer.reset_state()
-            elif received:
-                client.filter_received(received, self.filter_rule)
+            elif quorum == 0:
+                # A client can miss every global model this round; it
+                # rolls back to its previous feasible model rather than
+                # keep unfiltered local drift.
+                self._fall_back(client, state)
+            elif quorum < expected and self._degraded_trim_ratio is not None:
+                count = degraded_trim_count(
+                    quorum, expected, self._degraded_trim_ratio
+                )
+                if count is None:
+                    # Too few models to out-vote the Byzantine PSs
+                    # (q <= 2B): keep the previous feasible model rather
+                    # than adopt an adversary-controllable aggregate.
+                    self._fall_back(client, state)
+                else:
+                    state.degraded_clients.append(client.client_id)
+                    client.filter_received(
+                        received,
+                        lambda stack, count=count:
+                            trimmed_mean_by_count(stack, count),
+                    )
             else:
-                # Under heavy message loss a client can miss every global
-                # model this round; it then continues from its own local
-                # model (the only state it has) — the same fallback a real
-                # disconnected edge device would use.
-                pass
+                client.filter_received(received, self.filter_rule)
 
-        record = RoundRecord(
-            round_index=t,
-            train_loss=train_loss,
-            upload_messages=(
-                self.network.stats.messages_by_tag.get("upload", 0)
-                - messages_before
-            ),
-            upload_bytes=(
-                self.network.stats.bytes_by_tag.get("upload", 0) - bytes_before
-            ),
-            dissemination_messages=config.num_clients * config.num_servers,
-        )
-        if evaluate:
-            record.test_loss, record.test_accuracy = self._evaluate()
-        self.history.append(record)
-        self._round_index += 1
-        return record
+    def _fall_back(self, client: Client, state: _RoundState) -> None:
+        """Restore ``client``'s previous feasible model.
+
+        Undoes this round's local training (if the client trained): without
+        a safely filterable quorum the client must not let unfiltered local
+        drift replace the last model it knows satisfied the filter.
+        """
+        state.fallback_clients.append(client.client_id)
+        start_vector = state.start_vectors.get(client.client_id)
+        if start_vector is not None:
+            client.set_model_vector(start_vector)
+            client.optimizer.reset_state()
 
     def _disseminated_model(self, server: ParameterServer, client_id: int,
                             round_index: int, all_aggregates: np.ndarray,
@@ -363,11 +593,11 @@ class FedMSTrainer:
         attack) and the network cannot drop messages, all clients receive
         the same ``P`` models and the filter is a pure function of that
         stack — so it is computed once. Returns ``None`` whenever per-client
-        results could differ (inconsistent attacks or lossy networks).
+        results could differ (inconsistent attacks, lossy networks, or any
+        fault injection).
         """
-        lossless = (self.network.drop_probability == 0.0
-                    and self.network.drop_rule is None)
-        if not lossless or len(broadcast_cache) != len(self.servers):
+        if not self.network.is_lossless \
+                or len(broadcast_cache) != len(self.servers):
             return None
         stack = np.stack([
             broadcast_cache[server.server_id] for server in self.servers
@@ -398,7 +628,7 @@ class FedMSTrainer:
         import os
 
         payload: Dict[str, np.ndarray] = {
-            "round_index": np.asarray(self._round_index),
+            "round_index": np.asarray(self.scheduler.round_index),
             "global_model": self.clients[0].model_vector(),
         }
         for server in self.servers:
@@ -429,7 +659,7 @@ class FedMSTrainer:
         for client in self.clients:
             client.set_model_vector(global_model)
             client.optimizer.reset_state()
-        self._round_index = round_index
+        self.scheduler.set_round_index(round_index)
         return round_index
 
     # -- multi-round driver ----------------------------------------------------
@@ -448,7 +678,9 @@ class FedMSTrainer:
             raise ConfigurationError(f"eval_every must be positive, got {eval_every}")
         for offset in range(num_rounds):
             is_last = offset == num_rounds - 1
-            should_evaluate = is_last or (self._round_index + 1) % eval_every == 0
+            should_evaluate = (
+                is_last or (self.scheduler.round_index + 1) % eval_every == 0
+            )
             record = self.run_round(evaluate=should_evaluate)
             if progress is not None:
                 progress(record)

@@ -12,6 +12,7 @@ from .results import Curve, FigureResult
 from .specs import (
     run_comm_cost,
     run_convergence_rate,
+    run_fault_tolerance,
     run_fig2_attack_panel,
     run_fig3_epsilon_panel,
     run_fig4_heterogeneity,
@@ -38,6 +39,7 @@ __all__ = [
     "run_comm_cost",
     "run_convergence_rate",
     "run_filter_ablation",
+    "run_fault_tolerance",
     "ascii_curve",
     "ascii_curves",
     "format_curves",

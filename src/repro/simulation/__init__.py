@@ -1,5 +1,13 @@
-"""Edge-network simulation: message transport, accounting, scheduling."""
+"""Edge-network simulation: transport, accounting, scheduling, faults."""
 
+from .faults import (
+    ClientDropout,
+    FaultInjector,
+    FaultPlan,
+    LinkPartition,
+    ServerCrash,
+    ServerStraggler,
+)
 from .latency import (
     ConstantLatency,
     LatencyModel,
@@ -16,6 +24,12 @@ __all__ = [
     "TrafficStats",
     "Network",
     "RoundScheduler",
+    "ServerCrash",
+    "ServerStraggler",
+    "ClientDropout",
+    "LinkPartition",
+    "FaultPlan",
+    "FaultInjector",
     "LatencyModel",
     "ConstantLatency",
     "UniformLatency",

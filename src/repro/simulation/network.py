@@ -91,7 +91,15 @@ class Message:
 
 
 class TrafficStats:
-    """Message and byte counters, overall and per tag."""
+    """Message and byte counters, overall and per tag.
+
+    Besides delivered traffic, failures are attributed: drops are counted
+    per tag (so an experiment can tell lost uploads from lost
+    disseminations), deadline-expired messages cleared from queues are
+    counted under ``cleared_total``, and upload retry attempts under
+    ``retries_by_tag`` — which is what keeps the paper's ``O(K)``
+    sparse-upload accounting honest when retries are in play.
+    """
 
     def __init__(self) -> None:
         self.messages_total = 0
@@ -99,6 +107,10 @@ class TrafficStats:
         self.messages_by_tag: Dict[str, int] = defaultdict(int)
         self.bytes_by_tag: Dict[str, int] = defaultdict(int)
         self.dropped_total = 0
+        self.dropped_by_tag: Dict[str, int] = defaultdict(int)
+        self.cleared_total = 0
+        self.retries_total = 0
+        self.retries_by_tag: Dict[str, int] = defaultdict(int)
 
     def record(self, message: Message) -> None:
         self.messages_total += 1
@@ -106,8 +118,17 @@ class TrafficStats:
         self.messages_by_tag[message.tag] += 1
         self.bytes_by_tag[message.tag] += message.size_bytes
 
-    def record_drop(self) -> None:
+    def record_drop(self, message: Optional[Message] = None) -> None:
         self.dropped_total += 1
+        if message is not None:
+            self.dropped_by_tag[message.tag] += 1
+
+    def record_cleared(self, count: int) -> None:
+        self.cleared_total += count
+
+    def record_retry(self, tag: str) -> None:
+        self.retries_total += 1
+        self.retries_by_tag[tag] += 1
 
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict copy suitable for logging or assertions."""
@@ -117,6 +138,10 @@ class TrafficStats:
             "messages_by_tag": dict(self.messages_by_tag),
             "bytes_by_tag": dict(self.bytes_by_tag),
             "dropped_total": self.dropped_total,
+            "dropped_by_tag": dict(self.dropped_by_tag),
+            "cleared_total": self.cleared_total,
+            "retries_total": self.retries_total,
+            "retries_by_tag": dict(self.retries_by_tag),
         }
 
     def reset(self) -> None:
@@ -125,6 +150,10 @@ class TrafficStats:
         self.messages_by_tag.clear()
         self.bytes_by_tag.clear()
         self.dropped_total = 0
+        self.dropped_by_tag.clear()
+        self.cleared_total = 0
+        self.retries_total = 0
+        self.retries_by_tag.clear()
 
 
 #: Decides whether a message is lost: ``(message) -> True`` means drop.
@@ -154,24 +183,48 @@ class Network:
             )
         self.drop_probability = float(drop_probability)
         self.drop_rule = drop_rule
+        self._extra_drop_rules: List[DropRule] = []
         self._rng = rng
         self._queues: Dict[NodeId, List[Message]] = defaultdict(list)
         self.stats = TrafficStats()
 
-    def send(self, message: Message) -> bool:
-        """Queue a message for its recipient.
+    @property
+    def is_lossless(self) -> bool:
+        """True when no failure injection of any kind is configured."""
+        return (self.drop_probability == 0.0 and self.drop_rule is None
+                and not self._extra_drop_rules)
 
-        Returns ``False`` (and counts a drop) if failure injection lost the
-        message. Delivered messages are counted in :attr:`stats`.
+    def add_drop_rule(self, rule: DropRule) -> None:
+        """Install an additional drop rule alongside the constructor's.
+
+        Rules compose as a disjunction: a message is lost if *any* rule
+        claims it. This is how a :class:`~repro.simulation.faults
+        .FaultInjector` stacks on top of an experiment's own targeted
+        drop rule.
         """
+        self._extra_drop_rules.append(rule)
+
+    def _lost(self, message: Message) -> bool:
         if self.drop_rule is not None and self.drop_rule(message):
-            self.stats.record_drop()
-            return False
+            return True
+        if any(rule(message) for rule in self._extra_drop_rules):
+            return True
         if self.drop_probability > 0.0:
             assert self._rng is not None
             if self._rng.random() < self.drop_probability:
-                self.stats.record_drop()
-                return False
+                return True
+        return False
+
+    def send(self, message: Message) -> bool:
+        """Queue a message for its recipient.
+
+        Returns ``False`` (and counts a drop, attributed to the message's
+        tag) if failure injection lost the message. Delivered messages are
+        counted in :attr:`stats`.
+        """
+        if self._lost(message):
+            self.stats.record_drop(message)
+            return False
         self.stats.record(message)
         self._queues[message.recipient].append(message)
         return True
@@ -185,6 +238,15 @@ class Network:
         """Number of queued messages for ``recipient`` without draining."""
         return len(self._queues.get(recipient, []))
 
-    def clear(self) -> None:
-        """Drop all queued messages (does not touch the statistics)."""
+    def clear(self) -> int:
+        """Expire all queued messages, e.g. at a round deadline.
+
+        Returns the number of messages cleared and counts them under
+        ``stats.cleared_total``, so rounds that end with undelivered
+        traffic (offline recipients, deadline expiry) stay auditable.
+        """
+        cleared = sum(len(queue) for queue in self._queues.values())
         self._queues.clear()
+        if cleared:
+            self.stats.record_cleared(cleared)
+        return cleared

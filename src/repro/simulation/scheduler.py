@@ -34,6 +34,7 @@ class RoundScheduler:
 
     def __init__(self) -> None:
         self._phases: List[Tuple[str, PhaseFn]] = []
+        self._round_hooks: List[PhaseFn] = []
         self._round_index = 0
         self.phase_seconds: Dict[str, float] = {}
 
@@ -53,11 +54,30 @@ class RoundScheduler:
         self._phases.append((name, fn))
         self.phase_seconds[name] = 0.0
 
+    def add_round_hook(self, fn: PhaseFn) -> None:
+        """Register a hook that runs before the phases of every round.
+
+        Hooks drive per-round environment state rather than algorithm
+        stages — e.g. a :class:`~repro.simulation.faults.FaultInjector`'s
+        ``begin_round`` activating this round's crashes and partitions.
+        """
+        self._round_hooks.append(fn)
+
+    def set_round_index(self, round_index: int) -> None:
+        """Reposition the scheduler, e.g. after restoring a checkpoint."""
+        if round_index < 0:
+            raise ConfigurationError(
+                f"round_index must be >= 0, got {round_index}"
+            )
+        self._round_index = round_index
+
     def run_round(self) -> int:
-        """Execute all phases for the current round; returns its index."""
+        """Execute all hooks then phases for the current round."""
         if not self._phases:
             raise ConfigurationError("no phases registered")
         index = self._round_index
+        for hook in self._round_hooks:
+            hook(index)
         for name, fn in self._phases:
             started = time.perf_counter()
             fn(index)

@@ -10,6 +10,7 @@ from hypothesis.extra.numpy import arrays
 from repro.common import ConfigurationError, ShapeError
 from repro.aggregation import (
     coordinate_median,
+    degraded_trim_count,
     geometric_median,
     krum,
     krum_index,
@@ -17,6 +18,7 @@ from repro.aggregation import (
     multi_krum,
     trim_count,
     trimmed_mean,
+    trimmed_mean_by_count,
 )
 
 
@@ -52,6 +54,58 @@ class TestTrimCount:
         # but 3 models at 0.4 -> count 1, 2*1 < 3 fine. Construct a failure:
         with pytest.raises(ConfigurationError):
             trim_count(2, 0.5)
+
+
+class TestDegradedTrimCount:
+    # The acceptance setting: P = 10, beta = 0.2 -> B = 2, so the filter
+    # stays feasible down to q = 2B + 1 = 5 and falls back below that.
+
+    @pytest.mark.parametrize("quorum", list(range(10, 4, -1)))
+    def test_feasible_quorums_keep_absolute_tolerance(self, quorum):
+        assert degraded_trim_count(quorum, 10, 0.2) == 2
+
+    def test_boundary_quorum_is_infeasible(self):
+        # q = 2B: trimming B per tail leaves no benign majority.
+        assert degraded_trim_count(4, 10, 0.2) is None
+
+    def test_below_boundary_is_infeasible(self):
+        assert degraded_trim_count(3, 10, 0.2) is None
+        assert degraded_trim_count(1, 10, 0.2) is None
+
+    def test_zero_trim_is_always_feasible(self):
+        assert degraded_trim_count(1, 10, 0.0) == 0
+
+    def test_rejects_nonpositive_quorum(self):
+        with pytest.raises(ConfigurationError):
+            degraded_trim_count(0, 10, 0.2)
+
+    def test_rejects_quorum_above_expected(self):
+        with pytest.raises(ConfigurationError):
+            degraded_trim_count(11, 10, 0.2)
+
+
+class TestTrimmedMeanByCount:
+    def test_matches_ratio_form_on_full_stack(self):
+        stack = np.arange(20.0).reshape(10, 2)
+        np.testing.assert_allclose(trimmed_mean_by_count(stack, 2),
+                                   trimmed_mean(stack, 0.2))
+
+    def test_degraded_stack_trims_absolute_count(self):
+        # 5 rows with B = 2 per tail keeps only the median row.
+        stack = np.array([[1.0], [2.0], [3.0], [4.0], [100.0]])
+        np.testing.assert_array_equal(trimmed_mean_by_count(stack, 2), [3.0])
+
+    def test_count_zero_is_plain_mean(self):
+        stack = np.array([[1.0], [5.0]])
+        np.testing.assert_array_equal(trimmed_mean_by_count(stack, 0), [3.0])
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean_by_count(np.zeros((3, 2)), -1)
+
+    def test_rejects_trimming_everything(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean_by_count(np.zeros((4, 2)), 2)
 
 
 class TestTrimmedMean:

@@ -9,6 +9,7 @@ from repro.common import ConfigurationError, RngFactory
 from repro.core import (
     FullUpload,
     MultiUpload,
+    RetryPolicy,
     SparseUpload,
     make_upload_strategy,
 )
@@ -93,3 +94,46 @@ class TestCostContract:
             assignment = strategy.assign(num_clients, num_servers, rng=rng)
             actual = sum(len(targets) for targets in assignment)
             assert actual == strategy.uploads_per_round(num_clients, num_servers)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_geometrically(self):
+        policy = RetryPolicy(max_retries=3, base_backoff_s=0.1,
+                             backoff_factor=2.0)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+
+    def test_backoff_rejects_attempt_zero(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().backoff_s(0)
+
+    def test_first_retry_hits_same_server(self):
+        policy = RetryPolicy()
+        rng = RngFactory(0).make("retry")
+        assert policy.next_target(1, 3, [0, 1, 2, 3], rng=rng) == 3
+
+    def test_later_retries_resample_alive_servers(self):
+        policy = RetryPolicy()
+        rng = RngFactory(0).make("retry")
+        targets = {policy.next_target(2, 3, [0, 1, 2, 3], rng=rng)
+                   for _ in range(50)}
+        assert targets == {0, 1, 2}  # failed PS 3 is excluded
+
+    def test_falls_back_to_failed_server_when_alone(self):
+        policy = RetryPolicy()
+        rng = RngFactory(0).make("retry")
+        assert policy.next_target(2, 3, [3], rng=rng) == 3
+
+    def test_no_alive_servers(self):
+        policy = RetryPolicy()
+        rng = RngFactory(0).make("retry")
+        assert policy.next_target(2, 3, [], rng=rng) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)

@@ -100,6 +100,15 @@ class TestNetwork:
         assert network.receive(NodeId.server(0)) == []
         assert network.stats.messages_total == 1
 
+    def test_clear_returns_count_and_records_it(self):
+        network = Network()
+        network.send(make_message(recipient=NodeId.server(0)))
+        network.send(make_message(recipient=NodeId.server(1)))
+        assert network.clear() == 2
+        assert network.stats.cleared_total == 2
+        assert network.clear() == 0
+        assert network.stats.cleared_total == 2
+
     def test_random_drops(self):
         network = Network(drop_probability=0.5, rng=RngFactory(0).make("net"))
         outcomes = [network.send(make_message()) for _ in range(200)]
@@ -117,6 +126,53 @@ class TestNetwork:
         network = Network(drop_rule=lambda m: True)
         network.send(make_message())
         assert network.stats.messages_total == 0
+
+    def test_drops_attributed_per_tag(self):
+        network = Network(drop_rule=lambda m: m.tag == "upload")
+        network.send(make_message(tag="upload"))
+        network.send(make_message(tag="upload"))
+        network.send(make_message(tag="dissemination"))
+        stats = network.stats.snapshot()
+        assert stats["dropped_total"] == 2
+        assert stats["dropped_by_tag"] == {"upload": 2}
+
+    def test_retry_accounting(self):
+        stats = Network().stats
+        stats.record_retry("upload")
+        stats.record_retry("upload")
+        snapshot = stats.snapshot()
+        assert snapshot["retries_total"] == 2
+        assert snapshot["retries_by_tag"] == {"upload": 2}
+
+    def test_reset_clears_failure_counters(self):
+        network = Network(drop_rule=lambda m: True)
+        network.send(make_message())
+        network.stats.record_retry("upload")
+        network.stats.record_cleared(3)
+        network.stats.reset()
+        snapshot = network.stats.snapshot()
+        assert snapshot["dropped_total"] == 0
+        assert snapshot["dropped_by_tag"] == {}
+        assert snapshot["cleared_total"] == 0
+        assert snapshot["retries_total"] == 0
+        assert snapshot["retries_by_tag"] == {}
+
+    def test_is_lossless(self):
+        assert Network().is_lossless
+        assert not Network(drop_rule=lambda m: False).is_lossless
+        assert not Network(drop_probability=0.1,
+                           rng=RngFactory(0).make("net")).is_lossless
+        network = Network()
+        network.add_drop_rule(lambda m: False)
+        assert not network.is_lossless
+
+    def test_extra_drop_rules_compose_as_disjunction(self):
+        network = Network(drop_rule=lambda m: m.tag == "upload")
+        network.add_drop_rule(lambda m: m.recipient == NodeId.server(1))
+        assert not network.send(make_message(tag="upload"))
+        assert not network.send(
+            make_message(tag="dissemination", recipient=NodeId.server(1)))
+        assert network.send(make_message(tag="dissemination"))
 
     def test_drop_probability_requires_rng(self):
         with pytest.raises(ConfigurationError):
@@ -164,3 +220,19 @@ class TestRoundScheduler:
         scheduler.add_phase("a", lambda t: None)
         with pytest.raises(ConfigurationError):
             scheduler.run(0)
+
+    def test_round_hooks_run_before_phases(self):
+        scheduler = RoundScheduler()
+        calls = []
+        scheduler.add_round_hook(lambda t: calls.append(("hook", t)))
+        scheduler.add_phase("a", lambda t: calls.append(("a", t)))
+        scheduler.run(2)
+        assert calls == [("hook", 0), ("a", 0), ("hook", 1), ("a", 1)]
+
+    def test_set_round_index(self):
+        scheduler = RoundScheduler()
+        scheduler.add_phase("a", lambda t: None)
+        scheduler.set_round_index(5)
+        assert scheduler.run_round() == 5
+        with pytest.raises(ConfigurationError):
+            scheduler.set_round_index(-1)
