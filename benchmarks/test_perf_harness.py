@@ -1,0 +1,70 @@
+"""Round-loop throughput per execution backend.
+
+Runs the wall-clock harness (``repro.experiments.perf``) and writes
+``BENCH_round_loop.json`` at the repo root — the artifact CI uploads.
+Plain pytest, no pytest-benchmark fixture: the harness does its own
+timing so the serial/thread/process rows share one workload.
+
+The throughput gate (process backend must reach at least
+``REPRO_PERF_MIN_RATIO`` x serial at K=64, default 0.9) only applies on
+multi-core machines; on a single core a process pool cannot beat serial
+and the gate would measure scheduler noise, not a regression.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import run_round_loop_perf, write_bench_file
+
+PROFILE = os.environ.get("REPRO_PERF_PROFILE", "smoke")
+MIN_RATIO = float(os.environ.get("REPRO_PERF_MIN_RATIO", "0.9"))
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = run_round_loop_perf(PROFILE)
+    path = write_bench_file(result)
+    with open(path) as handle:
+        assert json.load(handle)["bench"] == "round_loop"
+    return result
+
+
+def _rows(report, backend):
+    return {row["num_clients"]: row for row in report["rows"]
+            if row["backend"] == backend}
+
+
+def test_all_backends_measured(report):
+    for backend in ("serial", "thread", "process"):
+        rows = _rows(report, backend)
+        assert set(rows) == set(report["client_counts"])
+        for row in rows.values():
+            assert row["rounds_per_sec"] > 0
+            assert row["client_steps_per_sec"] > 0
+            assert row["bytes_per_round"] > 0
+
+
+def test_backends_stay_bit_identical(report):
+    # The harness cross-checks each backend's final train loss against
+    # serial's; a speedup from diverging arithmetic would be meaningless.
+    for row in report["rows"]:
+        if row["backend"] != "serial" and not row["degraded"]:
+            assert row["matches_serial"], (
+                f"{row['backend']} diverged from serial at "
+                f"K={row['num_clients']}"
+            )
+
+
+def test_process_pool_throughput_at_k64(report):
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-core machine: process pool cannot win; "
+                    "ratio gate needs >= 2 cores")
+    row = _rows(report, "process")[64]
+    assert not row["degraded"], "process pool degraded to serial"
+    assert row["speedup_vs_serial"] >= MIN_RATIO, (
+        f"process backend at K=64 reached only "
+        f"{row['speedup_vs_serial']:.2f}x of serial "
+        f"(gate: {MIN_RATIO}x)"
+    )

@@ -88,11 +88,11 @@ def quick_fed_ms_run(*, attack: str = "random", num_rounds: int = 20,
         num_byzantine=num_byzantine,
         seed=seed,
     )
-    trainer = FedMSTrainer(
+    with FedMSTrainer(
         config,
         model_factory=lambda rng: MLP(3072, (64,), 10, rng=rng),
         client_datasets=partitions,
         test_dataset=flat_test,
         attack=make_attack(attack) if num_byzantine > 0 else None,
-    )
-    return trainer.run(num_rounds, eval_every=max(num_rounds // 5, 1))
+    ) as trainer:
+        return trainer.run(num_rounds, eval_every=max(num_rounds // 5, 1))

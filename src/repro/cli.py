@@ -11,23 +11,31 @@ Usage::
     python -m repro ablation
     python -m repro faults --loss-rate 0.2 --crashes 2
     python -m repro quickstart
+    python -m repro perf --profile smoke
 
 Scale is controlled by ``REPRO_BENCH_SCALE`` (smoke/reduced/paper) or the
-``--scale`` flag.
+``--scale`` flag. The execution backend of every run is controlled by
+``REPRO_EXECUTION_BACKEND`` / ``REPRO_NUM_WORKERS`` or the ``--backend`` /
+``--workers`` flags (see docs/execution.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .attacks import PAPER_ATTACKS, available_attacks
+from .core.config import EXECUTION_BACKEND_ENV, NUM_WORKERS_ENV
+from .execution import EXECUTION_BACKENDS
 from .experiments import (
+    PERF_PROFILES,
     SCALES,
     ascii_curves,
     current_scale,
     format_figure,
+    format_report,
     run_comm_cost,
     run_convergence_rate,
     run_fault_tolerance,
@@ -36,6 +44,8 @@ from .experiments import (
     run_fig4_heterogeneity,
     run_fig5_alpha_panel,
     run_filter_ablation,
+    run_round_loop_perf,
+    write_bench_file,
 )
 
 __all__ = ["main", "build_parser"]
@@ -50,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload scale (default: REPRO_BENCH_SCALE or "
                              "'reduced')")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", choices=EXECUTION_BACKENDS,
+                        help="execution backend for the round loop "
+                             "(default: REPRO_EXECUTION_BACKEND or 'serial')")
+    parser.add_argument("--workers", type=int,
+                        help="worker-pool size for thread/process backends "
+                             "(0 = one per core; default: REPRO_NUM_WORKERS)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     fig2 = commands.add_parser(
@@ -89,6 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("quickstart", help="tiny end-to-end demo run")
 
+    perf = commands.add_parser(
+        "perf", help="round-loop throughput per execution backend")
+    perf.add_argument("--profile", default="smoke",
+                      choices=sorted(PERF_PROFILES))
+    perf.add_argument("--output", default=None,
+                      help="where to write the JSON report (default: "
+                           "BENCH_round_loop.json at the repo root)")
+    perf.add_argument("--no-write", action="store_true",
+                      help="print the table only, do not write the report")
+
     commands.add_parser(
         "all", help=f"every paper figure ({', '.join(PAPER_ATTACKS)} panels, "
                     "fig3 sweep, fig4, fig5 sweep, comm, convergence)")
@@ -115,8 +141,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     scale = _resolve_scale(args)
     seed = args.seed
+    # Backend selection rides the environment so every trainer any
+    # experiment constructs — however deep — picks it up.
+    if args.backend is not None:
+        os.environ[EXECUTION_BACKEND_ENV] = args.backend
+    if args.workers is not None:
+        os.environ[NUM_WORKERS_ENV] = str(args.workers)
 
-    if args.command == "fig2":
+    if args.command == "perf":
+        report = run_round_loop_perf(args.profile,
+                                     num_workers=args.workers or 0,
+                                     seed=seed)
+        print(format_report(report))
+        if not args.no_write:
+            path = write_bench_file(report, args.output)
+            print(f"wrote {path}")
+    elif args.command == "fig2":
         _emit(run_fig2_attack_panel(args.attack, scale=scale, seed=seed))
     elif args.command == "fig3":
         _emit(run_fig3_epsilon_panel(args.epsilon, scale=scale, seed=seed))

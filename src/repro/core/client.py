@@ -18,6 +18,7 @@ import numpy as np
 
 from ..aggregation import AggregationRule
 from ..common.errors import ProtocolError
+from ..common.rng import stream_seed
 from ..data.datasets import ArrayDataset, DataLoader
 from ..nn.losses import accuracy, cross_entropy
 from ..nn.module import Module
@@ -54,6 +55,14 @@ class Client:
     flatten_inputs:
         When true, image batches are reshaped to ``(N, -1)`` before the
         forward pass (for MLP/softmax models on image datasets).
+    batch_seed:
+        When set, the mini-batch stream of round ``t`` is re-derived from
+        ``(batch_seed, client_id, t)`` at the start of every
+        :meth:`local_train` call instead of advancing the constructor's
+        ``rng`` across rounds. This makes a round's sampling a pure
+        function of the round index, which is what lets serial and
+        parallel execution backends draw bit-identical batches no matter
+        which process runs the step.
     """
 
     def __init__(self, client_id: int, model: Module, dataset: ArrayDataset, *,
@@ -62,7 +71,8 @@ class Client:
                  learning_rate: float = 0.05,
                  weight_decay: float = 0.0,
                  include_buffers: bool = True,
-                 flatten_inputs: bool = False) -> None:
+                 flatten_inputs: bool = False,
+                 batch_seed: Optional[int] = None) -> None:
         self.client_id = client_id
         self.model = model
         self.dataset = dataset
@@ -72,6 +82,7 @@ class Client:
         )
         self.include_buffers = include_buffers
         self.flatten_inputs = flatten_inputs
+        self.batch_seed = batch_seed
         self.optimizer = SGD(model.parameters(), lr=self.lr_schedule(0),
                              weight_decay=weight_decay)
         self.last_train_loss: Optional[float] = None
@@ -100,6 +111,11 @@ class Client:
         ``lr_schedule(t * E + i)`` — the global-step indexing the paper's
         analysis uses.
         """
+        if self.batch_seed is not None:
+            self.loader.reseed(np.random.default_rng(stream_seed(
+                self.batch_seed,
+                f"batches/client/{self.client_id}/round/{round_index}",
+            )))
         self.model.train()
         losses = []
         for i in range(local_steps):

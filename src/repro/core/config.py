@@ -9,9 +9,11 @@ problem is unsolvable and the trimmed mean is undefined.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..common.errors import ConfigurationError
 from ..common.validation import (
     check_fraction,
     check_nonnegative_int,
@@ -19,7 +21,18 @@ from ..common.validation import (
     require,
 )
 
-__all__ = ["FaultConfig", "FedMSConfig"]
+__all__ = ["FaultConfig", "FedMSConfig", "EXECUTION_BACKEND_ENV",
+           "NUM_WORKERS_ENV"]
+
+#: Environment override for ``FedMSConfig.execution_backend`` (CLI --backend).
+EXECUTION_BACKEND_ENV = "REPRO_EXECUTION_BACKEND"
+#: Environment override for ``FedMSConfig.num_workers`` (CLI --workers).
+NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+# Mirrors repro.execution.EXECUTION_BACKENDS; kept literal here because the
+# execution package imports repro.core (a module-level import the other way
+# would be circular). tests/execution asserts the two stay in sync.
+_EXECUTION_BACKENDS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -109,6 +122,17 @@ class FedMSConfig:
         and backoff); defaults are used when ``None``. The fault *events*
         themselves live in a
         :class:`~repro.simulation.faults.FaultPlan` passed to the trainer.
+    execution_backend:
+        How the per-round client steps run: ``"serial"`` (one process, the
+        default), ``"thread"`` (thread pool) or ``"process"`` (persistent
+        ``multiprocessing`` workers over shared memory). ``None`` defers to
+        the ``REPRO_EXECUTION_BACKEND`` environment variable, then
+        ``"serial"``. All backends are bit-identical for the same seed —
+        see ``docs/execution.md``.
+    num_workers:
+        Pool size for the thread/process backends. ``0`` (or the default
+        ``None`` with no ``REPRO_NUM_WORKERS`` set) means auto: one worker
+        per available core, capped at ``num_clients``.
     seed:
         Root seed for every random stream in the run.
     """
@@ -126,6 +150,8 @@ class FedMSConfig:
     participation_fraction: float = 1.0
     eval_clients: int = 3
     faults: Optional[FaultConfig] = None
+    execution_backend: Optional[str] = None
+    num_workers: Optional[int] = None
     seed: int = 0
 
     resolved_trim_ratio: float = field(init=False, repr=False)
@@ -156,6 +182,12 @@ class FedMSConfig:
                 f"num_clients={self.num_clients}")
         require(self.faults is None or isinstance(self.faults, FaultConfig),
                 f"faults must be a FaultConfig, got {type(self.faults)}")
+        require(self.execution_backend is None
+                or self.execution_backend in _EXECUTION_BACKENDS,
+                f"execution_backend must be one of {_EXECUTION_BACKENDS}, "
+                f"got {self.execution_backend!r}")
+        if self.num_workers is not None:
+            check_nonnegative_int(self.num_workers, "num_workers")
         if self.trim_ratio is None:
             self.resolved_trim_ratio = self.num_byzantine / self.num_servers
         else:
@@ -167,6 +199,35 @@ class FedMSConfig:
     def resolved_faults(self) -> "FaultConfig":
         """The fault knobs in effect (defaults when ``faults is None``)."""
         return self.faults if self.faults is not None else FaultConfig()
+
+    @property
+    def resolved_execution_backend(self) -> str:
+        """The backend in effect: explicit field, then environment, then
+        ``"serial"``. Read at trainer construction time."""
+        if self.execution_backend is not None:
+            return self.execution_backend
+        name = os.environ.get(EXECUTION_BACKEND_ENV, "serial")
+        require(name in _EXECUTION_BACKENDS,
+                f"{EXECUTION_BACKEND_ENV}={name!r} is not one of "
+                f"{_EXECUTION_BACKENDS}")
+        return name
+
+    @property
+    def resolved_num_workers(self) -> int:
+        """The worker count in effect (``0`` = auto-size to the machine)."""
+        if self.num_workers is not None:
+            return self.num_workers
+        raw = os.environ.get(NUM_WORKERS_ENV)
+        if raw is None:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{NUM_WORKERS_ENV}={raw!r} is not an integer"
+            ) from None
+        check_nonnegative_int(workers, NUM_WORKERS_ENV)
+        return workers
 
     @property
     def participants_per_round(self) -> int:

@@ -29,6 +29,7 @@ from ..aggregation import (
     AggregationRule,
     degraded_trim_count,
     make_rule,
+    mean,
     trimmed_mean_by_count,
 )
 from ..attacks.base import Attack
@@ -36,6 +37,7 @@ from ..attacks.client_attacks import ClientAttack, ClientAttackContext
 from ..common.errors import ConfigurationError, ProtocolError
 from ..common.rng import RngFactory
 from ..data.datasets import ArrayDataset
+from ..execution import FilterJob, FilterSpec, WorkerSpec, make_backend
 from ..nn.module import Module
 from ..nn.schedules import LRSchedule
 from ..nn.serialization import from_vector, to_vector
@@ -214,9 +216,44 @@ class FedMSTrainer:
                 weight_decay=weight_decay,
                 include_buffers=config.include_buffers,
                 flatten_inputs=flatten_inputs,
+                batch_seed=config.seed,
             )
             client.set_model_vector(initial_vector)
             self.clients.append(client)
+
+        # The execution backend runs the embarrassingly-parallel stages
+        # (local training, client-side filtering); all backends are
+        # bit-identical for the same seed, so this is purely a wall-clock
+        # choice. See docs/execution.md.
+        self.execution = make_backend(
+            config.resolved_execution_backend,
+            clients=self.clients,
+            spec=WorkerSpec(
+                seed=config.seed,
+                local_steps=config.local_steps,
+                batch_size=config.batch_size,
+                learning_rate=config.learning_rate,
+                weight_decay=weight_decay,
+                include_buffers=config.include_buffers,
+                flatten_inputs=flatten_inputs,
+                model_dim=int(initial_vector.size),
+                num_clients=config.num_clients,
+                model_factory=model_factory,
+                datasets=list(client_datasets),
+                lr_schedule=lr_schedule,
+            ),
+            num_workers=config.resolved_num_workers,
+        )
+        # Picklable description of the Def() filter, when it has one:
+        # fan-out-able to workers. Custom closures are applied in-process.
+        if filter_rule is None:
+            self._filter_spec: Optional[FilterSpec] = FilterSpec(
+                "trim_ratio", config.resolved_trim_ratio
+            )
+        elif filter_rule is mean:
+            self._filter_spec = FilterSpec("mean")
+        else:
+            self._filter_spec = None
 
         self.byzantine_ids = self._resolve_byzantine_ids(byzantine_ids)
         self.client_attack = client_attack
@@ -381,20 +418,29 @@ class FedMSTrainer:
                 if self.fault_injector.client_active(client.client_id)
             ]
         state.participants = participants
+        jobs = []
         for client in participants:
             # The pre-training vector is the client's previous feasible
             # model — the fallback target when this round's quorum turns
             # out to be too small to filter safely.
             start_vector = client.model_vector()
             state.start_vectors[client.client_id] = start_vector
-            vector = client.local_train(t, config.local_steps)
+            jobs.append((client.client_id, start_vector))
+        results = self.execution.train_clients(t, jobs)
+        for client in participants:
+            vector, loss = results[client.client_id]
+            # Sync the main-process replica with the trained state (pool
+            # backends trained a worker-side replica; for the serial
+            # backend this re-loads the values the model already holds).
+            client.set_model_vector(vector)
+            client.last_train_loss = loss
             if client.client_id in self.byzantine_client_ids:
                 assert self.client_attack is not None
                 vector = self.client_attack.tamper(ClientAttackContext(
                     round_index=t,
                     client_id=client.client_id,
                     honest_update=vector,
-                    global_model=start_vector,
+                    global_model=state.start_vectors[client.client_id],
                     rng=self._client_attack_rngs[client.client_id],
                 ))
             state.vectors[client.client_id] = vector
@@ -505,12 +551,19 @@ class FedMSTrainer:
                 ))
 
     def _phase_filter(self, t: int) -> None:
-        """Stage 3 (client side): the Def() filter, quorum-aware."""
+        """Stage 3 (client side): the Def() filter, quorum-aware.
+
+        Per-client filtering is embarrassingly parallel, so every client
+        whose rule has a picklable :class:`FilterSpec` is fanned out
+        through the execution backend; custom filter closures run
+        in-process.
+        """
         state = self._round
         assert state is not None
         config = self.config
         shared_filtered = self._shared_filtered_model(state.broadcast_cache)
         expected = config.num_servers
+        backend_jobs: List[FilterJob] = []
         for client in state.active_clients:
             received = [
                 message.payload for message in
@@ -540,13 +593,22 @@ class FedMSTrainer:
                     self._fall_back(client, state)
                 else:
                     state.degraded_clients.append(client.client_id)
-                    client.filter_received(
-                        received,
-                        lambda stack, count=count:
-                            trimmed_mean_by_count(stack, count),
-                    )
+                    backend_jobs.append((
+                        client.client_id, np.stack(received),
+                        FilterSpec("trim_count", count),
+                    ))
+            elif self._filter_spec is not None:
+                backend_jobs.append((
+                    client.client_id, np.stack(received), self._filter_spec
+                ))
             else:
                 client.filter_received(received, self.filter_rule)
+        if backend_jobs:
+            for client_id, vector in \
+                    self.execution.filter_clients(backend_jobs).items():
+                client = self.clients[client_id]
+                client.set_model_vector(vector)
+                client.optimizer.reset_state()
 
     def _fall_back(self, client: Client, state: _RoundState) -> None:
         """Restore ``client``'s previous feasible model.
@@ -605,13 +667,42 @@ class FedMSTrainer:
         return self.filter_rule(stack)
 
     def _evaluate(self) -> "tuple[float, float]":
-        """Mean (loss, accuracy) over the first ``eval_clients`` clients."""
+        """Mean (loss, accuracy) over the first ``eval_clients`` clients.
+
+        Hot path: after a lossless round without client-dependent attacks
+        every client holds the *same* filtered model, so evaluating each
+        one repeats identical forward passes. When the sampled clients'
+        vectors are bit-equal the test set is scored once.
+        """
+        eval_clients = self.clients[:self.config.eval_clients]
+        if len(eval_clients) > 1:
+            reference = eval_clients[0].model_vector()
+            if all(np.array_equal(reference, client.model_vector())
+                   for client in eval_clients[1:]):
+                loss, acc = eval_clients[0].evaluate(self.test_dataset)
+                return float(loss), float(acc)
         losses, accuracies = [], []
-        for client in self.clients[:self.config.eval_clients]:
+        for client in eval_clients:
             loss, acc = client.evaluate(self.test_dataset)
             losses.append(loss)
             accuracies.append(acc)
         return float(np.mean(losses)), float(np.mean(accuracies))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release execution-backend resources (worker pools, shared memory).
+
+        Idempotent; a trainer on the serial backend has nothing to release.
+        Use the trainer as a context manager to get this automatically.
+        """
+        self.execution.close()
+
+    def __enter__(self) -> "FedMSTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- persistence -----------------------------------------------------------
 

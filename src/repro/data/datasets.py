@@ -30,7 +30,8 @@ class ArrayDataset:
         if labels.ndim != 1:
             raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
         self.features = features
-        self.labels = labels.astype(np.int64)
+        # copy=False keeps shared-memory-backed label arrays zero-copy.
+        self.labels = labels.astype(np.int64, copy=False)
 
     def __len__(self) -> int:
         return int(self.features.shape[0])
@@ -85,6 +86,15 @@ class DataLoader:
             raise ConfigurationError("cannot load from an empty dataset")
         self.dataset = dataset
         self.batch_size = min(batch_size, len(dataset))
+        self._rng = rng
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Replace the sampling stream (e.g. with a per-round derived one).
+
+        Execution backends use this to make mini-batch sampling a pure
+        function of ``(seed, client, round)`` instead of cursor state, so
+        that serial and parallel round loops draw identical batches.
+        """
         self._rng = rng
 
     def sample_batch(self) -> Tuple[np.ndarray, np.ndarray]:

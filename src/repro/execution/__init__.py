@@ -1,0 +1,51 @@
+"""Pluggable execution backends for the Fed-MS round loop.
+
+The per-round client work — local SGD in ``_phase_train`` and the Def()
+filter in ``_phase_filter`` — is embarrassingly parallel across clients.
+This package turns that per-client step into an
+:class:`~repro.execution.backend.ExecutionBackend` with three
+implementations:
+
+* :class:`SerialBackend` — the historical single-process loop (default);
+* :class:`ThreadBackend` — a thread pool over per-thread model replicas,
+  cheap smoke-scaling (numpy releases the GIL inside the matmuls);
+* :class:`ProcessPoolBackend` — persistent ``multiprocessing`` workers fed
+  through :mod:`multiprocessing.shared_memory` zero-copy buffers.
+
+All backends are **bit-identical** for the same seed: the per-client batch
+stream of round ``t`` is re-derived from ``(seed, client_id, t)`` rather
+than carried as cursor state, so it does not matter which process runs the
+step. See ``docs/execution.md`` for the determinism contract and the
+shared-memory layout.
+"""
+
+from .backend import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    FilterJob,
+    SerialBackend,
+    TrainJob,
+    make_backend,
+    resolve_num_workers,
+)
+from .process_pool import ProcessPoolBackend
+from .shared import SharedDatasetStore, SharedNDArray, SharedVectorBuffer
+from .spec import FilterSpec, WorkerSpec
+from .thread import ThreadBackend
+
+__all__ = [
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "resolve_num_workers",
+    "TrainJob",
+    "FilterJob",
+    "FilterSpec",
+    "WorkerSpec",
+    "SharedNDArray",
+    "SharedDatasetStore",
+    "SharedVectorBuffer",
+]

@@ -1,0 +1,92 @@
+"""Declarative descriptions of the per-client work a backend executes.
+
+:class:`WorkerSpec` is everything a worker needs to rebuild a client-side
+training step away from the main process: the hyper-parameters, the model
+factory, the learning-rate schedule and the per-client datasets. It is
+handed to process workers by fork inheritance (never pickled), so factories
+and schedules may be arbitrary callables, including lambdas.
+
+:class:`FilterSpec` is the picklable description of the Def() filter for
+the rules the trainer can name — the beta-trimmed mean (by ratio or by the
+degraded-quorum trim count) and the plain mean. Custom filter closures have
+no spec and are applied in the main process instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..aggregation import mean, trimmed_mean, trimmed_mean_by_count
+from ..common.errors import ConfigurationError
+
+__all__ = ["FilterSpec", "WorkerSpec"]
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A named, picklable aggregation rule for backend-side filtering.
+
+    ``kind`` is one of ``"mean"``, ``"trim_ratio"`` (value = beta) or
+    ``"trim_count"`` (value = the per-tail trim count of a degraded
+    quorum).
+    """
+
+    kind: str
+    value: float = 0.0
+
+    _KINDS = ("mean", "trim_ratio", "trim_count")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(
+                f"unknown filter spec kind {self.kind!r}; "
+                f"expected one of {self._KINDS}"
+            )
+
+    def __call__(self, stack: np.ndarray) -> np.ndarray:
+        if self.kind == "mean":
+            return mean(stack)
+        if self.kind == "trim_ratio":
+            return trimmed_mean(stack, self.value)
+        return trimmed_mean_by_count(stack, int(self.value))
+
+
+@dataclass
+class WorkerSpec:
+    """Everything needed to run one client's local-training step anywhere.
+
+    Parameters mirror the slice of :class:`~repro.core.config.FedMSConfig`
+    and trainer arguments that affect local training. ``datasets`` holds
+    one dataset per client id (index = client id); process backends swap
+    these for shared-memory views before forking workers.
+    """
+
+    seed: int
+    local_steps: int
+    batch_size: int
+    learning_rate: float
+    weight_decay: float
+    include_buffers: bool
+    flatten_inputs: bool
+    model_dim: int
+    num_clients: int
+    model_factory: Callable[[np.random.Generator], object]
+    datasets: Sequence[object] = field(default_factory=list)
+    lr_schedule: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ConfigurationError(
+                f"num_clients must be positive, got {self.num_clients}"
+            )
+        if self.model_dim <= 0:
+            raise ConfigurationError(
+                f"model_dim must be positive, got {self.model_dim}"
+            )
+        if len(self.datasets) != self.num_clients:
+            raise ConfigurationError(
+                f"{len(self.datasets)} datasets for {self.num_clients} clients"
+            )

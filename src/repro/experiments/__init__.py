@@ -7,6 +7,14 @@ from .paper import (
     PAPER_FIG3_VANILLA_FINAL,
     PAPER_FIG5_FEDMS_FINAL,
 )
+from .perf import (
+    BENCH_FILENAME,
+    PERF_PROFILES,
+    PerfProfile,
+    format_report,
+    run_round_loop_perf,
+    write_bench_file,
+)
 from .replication import ReplicatedCurve, ReplicationSummary, replicate
 from .results import Curve, FigureResult
 from .specs import (
@@ -40,6 +48,12 @@ __all__ = [
     "run_convergence_rate",
     "run_filter_ablation",
     "run_fault_tolerance",
+    "BENCH_FILENAME",
+    "PERF_PROFILES",
+    "PerfProfile",
+    "format_report",
+    "run_round_loop_perf",
+    "write_bench_file",
     "ascii_curve",
     "ascii_curves",
     "format_curves",

@@ -1,0 +1,231 @@
+"""Wall-clock performance harness for the round loop.
+
+Measures what the execution backends actually buy: rounds/sec and
+client-steps/sec of the full Fed-MS round (train, upload, aggregate,
+disseminate, filter) at several client counts, per backend, plus the
+bytes the simulated network moves each round. Results land in
+``BENCH_round_loop.json`` at the repo root (see the ``perf`` CLI
+subcommand and ``benchmarks/test_perf_harness.py``).
+
+The workload is deliberately *round-loop-bound*, not data-bound: a small
+softmax model on Gaussian blobs, so the numbers isolate scheduler +
+backend + transport overhead rather than BLAS throughput. Because every
+backend computes bit-identical rounds (see ``docs/execution.md``), the
+harness also cross-checks final train losses across backends and refuses
+to report a speedup for a run that diverged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.rng import RngFactory
+from ..core import FedMSConfig, FedMSTrainer
+from ..data import ArrayDataset, iid_partition
+from ..models import SoftmaxRegression
+
+__all__ = ["PerfProfile", "PERF_PROFILES", "run_round_loop_perf",
+           "write_bench_file", "format_report", "BENCH_FILENAME"]
+
+BENCH_FILENAME = "BENCH_round_loop.json"
+
+
+@dataclass(frozen=True)
+class PerfProfile:
+    """Size knobs for one harness run."""
+
+    name: str
+    client_counts: Tuple[int, ...]
+    num_servers: int
+    local_steps: int
+    batch_size: int
+    samples_per_client: int
+    feature_dim: int
+    num_classes: int
+    warmup_rounds: int
+    timed_rounds: int
+
+
+PERF_PROFILES = {
+    # CI-friendly: a couple of seconds end to end.
+    "smoke": PerfProfile(
+        name="smoke", client_counts=(16, 64), num_servers=5, local_steps=2,
+        batch_size=8, samples_per_client=24, feature_dim=10, num_classes=3,
+        warmup_rounds=1, timed_rounds=3,
+    ),
+    # The acceptance configuration: K up to 256.
+    "full": PerfProfile(
+        name="full", client_counts=(16, 64, 256), num_servers=5,
+        local_steps=2, batch_size=8, samples_per_client=24, feature_dim=10,
+        num_classes=3, warmup_rounds=1, timed_rounds=5,
+    ),
+}
+
+
+def _make_workload(profile: PerfProfile, num_clients: int, seed: int
+                   ) -> Tuple[List[ArrayDataset], ArrayDataset]:
+    """Blob datasets sized to ``num_clients``, identical across backends."""
+    rngs = RngFactory(seed)
+    centers = np.random.default_rng(42).normal(
+        scale=4.0, size=(profile.num_classes, profile.feature_dim)
+    )
+    total = num_clients * profile.samples_per_client
+    rng = rngs.make(f"perf/data/{num_clients}")
+    labels = np.arange(total) % profile.num_classes
+    features = centers[labels] + rng.normal(
+        size=(total, profile.feature_dim)
+    )
+    order = rng.permutation(total)
+    train = ArrayDataset(features[order], labels[order])
+    test = ArrayDataset(features[order[:64]], labels[order[:64]])
+    partitions = iid_partition(train, num_clients,
+                               rng=rngs.make(f"perf/part/{num_clients}"))
+    return partitions, test
+
+
+def _measure(profile: PerfProfile, backend: str, num_clients: int,
+             partitions: List[ArrayDataset], test: ArrayDataset, *,
+             num_workers: int, seed: int) -> Dict[str, object]:
+    config = FedMSConfig(
+        num_clients=num_clients,
+        num_servers=profile.num_servers,
+        num_byzantine=0,
+        local_steps=profile.local_steps,
+        batch_size=profile.batch_size,
+        eval_clients=1,
+        execution_backend=backend,
+        num_workers=num_workers,
+        seed=seed,
+    )
+    dim, classes = profile.feature_dim, profile.num_classes
+    with FedMSTrainer(
+        config,
+        model_factory=lambda rng: SoftmaxRegression(dim, classes, rng=rng),
+        client_datasets=partitions,
+        test_dataset=test,
+    ) as trainer:
+        for _ in range(profile.warmup_rounds):
+            trainer.run_round(evaluate=False)
+        bytes_before = trainer.network.stats.bytes_total
+        start = time.perf_counter()
+        for _ in range(profile.timed_rounds):
+            trainer.run_round(evaluate=False)
+        elapsed = time.perf_counter() - start
+        bytes_moved = trainer.network.stats.bytes_total - bytes_before
+        final_loss = trainer.history.records[-1].train_loss
+        degraded = bool(getattr(trainer.execution, "degraded", False))
+        shared_nbytes = int(getattr(trainer.execution, "shared_nbytes", 0))
+
+    rounds_per_sec = profile.timed_rounds / elapsed if elapsed > 0 else 0.0
+    steps_per_round = num_clients * profile.local_steps
+    return {
+        "backend": backend,
+        "num_clients": num_clients,
+        "rounds_per_sec": rounds_per_sec,
+        "client_steps_per_sec": rounds_per_sec * steps_per_round,
+        "bytes_per_round": bytes_moved / profile.timed_rounds,
+        "shared_memory_bytes": shared_nbytes,
+        "seconds_per_round": elapsed / profile.timed_rounds,
+        "final_train_loss": float(final_loss),
+        "degraded": degraded,
+    }
+
+
+def run_round_loop_perf(profile: str = "smoke", *,
+                        backends: Sequence[str] = ("serial", "thread",
+                                                   "process"),
+                        num_workers: int = 0,
+                        seed: int = 0) -> Dict[str, object]:
+    """Time the round loop per backend and client count.
+
+    Returns a report dict: a header (profile, cpu_count, worker request)
+    plus one row per ``(backend, num_clients)`` with throughput, byte
+    traffic and the speedup relative to the serial backend at the same
+    ``num_clients``. Rows where the final train loss diverged from
+    serial's (which bit-identity forbids) are flagged with
+    ``matches_serial = False`` and get no speedup.
+    """
+    try:
+        spec = PERF_PROFILES[profile]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown perf profile {profile!r}; "
+            f"available: {sorted(PERF_PROFILES)}"
+        ) from None
+
+    rows: List[Dict[str, object]] = []
+    for num_clients in spec.client_counts:
+        partitions, test = _make_workload(spec, num_clients, seed)
+        serial_row: Optional[Dict[str, object]] = None
+        for backend in backends:
+            row = _measure(spec, backend, num_clients, partitions, test,
+                           num_workers=num_workers, seed=seed)
+            if backend == "serial":
+                serial_row = row
+            if serial_row is not None:
+                row["speedup_vs_serial"] = (
+                    row["rounds_per_sec"] / serial_row["rounds_per_sec"]
+                    if serial_row["rounds_per_sec"] > 0 else None
+                )
+                row["matches_serial"] = (
+                    row["final_train_loss"] == serial_row["final_train_loss"]
+                )
+                if not row["matches_serial"]:
+                    row["speedup_vs_serial"] = None
+            else:
+                row["speedup_vs_serial"] = None
+                row["matches_serial"] = None
+            rows.append(row)
+    return {
+        "bench": "round_loop",
+        "profile": spec.name,
+        "cpu_count": os.cpu_count(),
+        "requested_workers": num_workers,
+        "backends": list(backends),
+        "client_counts": list(spec.client_counts),
+        "local_steps": spec.local_steps,
+        "rows": rows,
+    }
+
+
+def write_bench_file(report: Dict[str, object],
+                     path: Optional[str] = None) -> str:
+    """Write ``report`` as JSON; default path is ``BENCH_round_loop.json``
+    at the repository root (the directory containing ``src/``)."""
+    if path is None:
+        # .../<root>/src/repro/experiments/perf.py -> <root>
+        here = os.path.dirname(os.path.abspath(__file__))
+        root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+        path = os.path.join(root, BENCH_FILENAME)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """A small fixed-width table for the CLI."""
+    lines = [
+        f"=== round-loop perf ({report['profile']}, "
+        f"{report['cpu_count']} cpus) ===",
+        f"{'backend':>8} {'K':>5} {'rounds/s':>10} {'steps/s':>10} "
+        f"{'KiB/round':>10} {'vs serial':>10}",
+    ]
+    for row in report["rows"]:
+        speedup = row.get("speedup_vs_serial")
+        lines.append(
+            f"{row['backend']:>8} {row['num_clients']:>5} "
+            f"{row['rounds_per_sec']:>10.2f} "
+            f"{row['client_steps_per_sec']:>10.1f} "
+            f"{row['bytes_per_round'] / 1024:>10.1f} "
+            + (f"{speedup:>9.2f}x" if speedup is not None else f"{'-':>10}")
+            + ("  [degraded]" if row["degraded"] else "")
+        )
+    return "\n".join(lines)

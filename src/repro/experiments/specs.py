@@ -96,16 +96,16 @@ def _run_one(workload: FigureWorkload, partitions, *, num_byzantine: int,
     attack = None
     if num_byzantine > 0 and attack_name is not None:
         attack = make_attack(attack_name, **ATTACK_KWARGS.get(attack_name, {}))
-    trainer = FedMSTrainer(
+    with FedMSTrainer(
         config,
         model_factory=workload.model_factory(),
         client_datasets=partitions,
         test_dataset=workload.test,
         attack=attack,
         filter_rule=rule,
-    )
-    history = trainer.run(num_rounds or scale.num_rounds,
-                          eval_every=scale.eval_every)
+    ) as trainer:
+        history = trainer.run(num_rounds or scale.num_rounds,
+                              eval_every=scale.eval_every)
     return _curve_from_history(label, history)
 
 
@@ -267,18 +267,24 @@ def run_comm_cost(*, scale: Optional[BenchScale] = None,
             eval_clients=1,
             seed=seed,
         )
-        trainer = FedMSTrainer(
+        with FedMSTrainer(
             config,
             model_factory=workload.model_factory(),
             client_datasets=partitions,
             test_dataset=workload.test,
-        )
-        history = trainer.run(num_rounds, eval_every=num_rounds)
+        ) as trainer:
+            history = trainer.run(num_rounds, eval_every=num_rounds)
         per_round = history.total_upload_messages / num_rounds
+        stats = trainer.network.stats
         rows.append({
             "strategy": strategy,
             "upload_messages_per_round": per_round,
             "upload_bytes_per_round": history.total_upload_bytes / num_rounds,
+            "dissemination_bytes_per_round": (
+                stats.bytes_by_tag.get("dissemination", 0) / num_rounds
+            ),
+            "total_bytes": stats.bytes_total,
+            "offered_bytes": stats.offered_bytes_total,
             "expected_messages": (
                 scale.num_clients if strategy == "sparse"
                 else scale.num_clients * scale.num_servers
@@ -362,7 +368,10 @@ def run_convergence_rate(*, num_clients: int = 20, num_servers: int = 5,
         eval_clients=1,
         seed=seed,
     )
-    trainer = FedMSTrainer(
+    rows: List[Dict[str, object]] = []
+    all_features = dataset.features
+    all_labels = dataset.labels
+    with FedMSTrainer(
         config,
         model_factory=lambda rng: SoftmaxRegression(dim, num_classes,
                                                     bias=False, rng=rng),
@@ -371,26 +380,22 @@ def run_convergence_rate(*, num_clients: int = 20, num_servers: int = 5,
         attack=make_attack("noise") if num_byzantine > 0 else None,
         lr_schedule=schedule,
         weight_decay=l2,
-    )
-
-    rows: List[Dict[str, object]] = []
-    all_features = dataset.features
-    all_labels = dataset.labels
-    for round_index in range(num_rounds):
-        trainer.run_round(evaluate=False)
-        if (round_index + 1) % max(num_rounds // 12, 1) == 0:
-            weights = trainer.clients[0].model_vector().reshape(
-                dim, num_classes
-            )
-            value, _ = softmax_loss_and_grad(weights, all_features,
-                                             all_labels, l2)
-            step = (round_index + 1) * local_steps
-            rows.append({
-                "round": round_index + 1,
-                "global_step": step,
-                "suboptimality": value - optimum_value,
-                "theorem1_bound": theorem1_bound(constants, step),
-            })
+    ) as trainer:
+        for round_index in range(num_rounds):
+            trainer.run_round(evaluate=False)
+            if (round_index + 1) % max(num_rounds // 12, 1) == 0:
+                weights = trainer.clients[0].model_vector().reshape(
+                    dim, num_classes
+                )
+                value, _ = softmax_loss_and_grad(weights, all_features,
+                                                 all_labels, l2)
+                step = (round_index + 1) * local_steps
+                rows.append({
+                    "round": round_index + 1,
+                    "global_step": step,
+                    "suboptimality": value - optimum_value,
+                    "theorem1_bound": theorem1_bound(constants, step),
+                })
     return FigureResult(
         figure_id="convergence_rate",
         params={
@@ -511,7 +516,7 @@ def run_fault_tolerance(*, loss_rate: float = 0.1, num_crashes: int = 2,
                 drop_probability=loss_rate,
                 rng=RngFactory(seed).make(f"faults/loss/{loss_rate}"),
             )
-        trainer = FedMSTrainer(
+        with FedMSTrainer(
             config,
             model_factory=workload.model_factory(),
             client_datasets=partitions,
@@ -521,8 +526,8 @@ def run_fault_tolerance(*, loss_rate: float = 0.1, num_crashes: int = 2,
             byzantine_ids=byzantine_ids,
             network=network,
             fault_injector=FaultInjector(plan) if faulty else None,
-        )
-        history = trainer.run(rounds, eval_every=scale.eval_every)
+        ) as trainer:
+            history = trainer.run(rounds, eval_every=scale.eval_every)
         rows.append({
             "run": label,
             "final_accuracy": history.final_accuracy,

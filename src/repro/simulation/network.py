@@ -94,11 +94,13 @@ class TrafficStats:
     """Message and byte counters, overall and per tag.
 
     Besides delivered traffic, failures are attributed: drops are counted
-    per tag (so an experiment can tell lost uploads from lost
-    disseminations), deadline-expired messages cleared from queues are
-    counted under ``cleared_total``, and upload retry attempts under
-    ``retries_by_tag`` — which is what keeps the paper's ``O(K)``
-    sparse-upload accounting honest when retries are in play.
+    per tag — in messages *and* bytes, so lost payload volume is as
+    auditable as lost message count — deadline-expired messages cleared
+    from queues are counted under ``cleared_total``, and upload retry
+    attempts under ``retries_by_tag`` — which is what keeps the paper's
+    ``O(K)`` sparse-upload accounting honest when retries are in play.
+    ``offered_bytes_total`` is delivered plus dropped bytes: what the
+    senders actually put on the wire.
     """
 
     def __init__(self) -> None:
@@ -108,6 +110,8 @@ class TrafficStats:
         self.bytes_by_tag: Dict[str, int] = defaultdict(int)
         self.dropped_total = 0
         self.dropped_by_tag: Dict[str, int] = defaultdict(int)
+        self.dropped_bytes_total = 0
+        self.dropped_bytes_by_tag: Dict[str, int] = defaultdict(int)
         self.cleared_total = 0
         self.retries_total = 0
         self.retries_by_tag: Dict[str, int] = defaultdict(int)
@@ -122,6 +126,13 @@ class TrafficStats:
         self.dropped_total += 1
         if message is not None:
             self.dropped_by_tag[message.tag] += 1
+            self.dropped_bytes_total += message.size_bytes
+            self.dropped_bytes_by_tag[message.tag] += message.size_bytes
+
+    @property
+    def offered_bytes_total(self) -> int:
+        """Bytes senders put on the wire: delivered plus dropped."""
+        return self.bytes_total + self.dropped_bytes_total
 
     def record_cleared(self, count: int) -> None:
         self.cleared_total += count
@@ -139,6 +150,9 @@ class TrafficStats:
             "bytes_by_tag": dict(self.bytes_by_tag),
             "dropped_total": self.dropped_total,
             "dropped_by_tag": dict(self.dropped_by_tag),
+            "dropped_bytes_total": self.dropped_bytes_total,
+            "dropped_bytes_by_tag": dict(self.dropped_bytes_by_tag),
+            "offered_bytes_total": self.offered_bytes_total,
             "cleared_total": self.cleared_total,
             "retries_total": self.retries_total,
             "retries_by_tag": dict(self.retries_by_tag),
@@ -151,6 +165,8 @@ class TrafficStats:
         self.bytes_by_tag.clear()
         self.dropped_total = 0
         self.dropped_by_tag.clear()
+        self.dropped_bytes_total = 0
+        self.dropped_bytes_by_tag.clear()
         self.cleared_total = 0
         self.retries_total = 0
         self.retries_by_tag.clear()

@@ -162,6 +162,46 @@ class TestRoundMechanics:
             for client in trainer.clients[1:]
         )
 
+    def test_evaluate_scores_once_when_models_identical(self, monkeypatch):
+        """After a lossless consistent round all eval clients hold the
+        same model, so the test set is forward-passed only once."""
+        from repro.core.client import Client
+
+        trainer = make_trainer(attack=RandomAttack())
+        trainer.run_round(evaluate=False)
+        calls = []
+        original = Client.evaluate
+
+        def counting(self, *args, **kwargs):
+            calls.append(self.client_id)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Client, "evaluate", counting)
+        loss, acc = trainer._evaluate()
+        assert len(calls) == 1
+        assert np.isfinite(loss) and 0.0 <= acc <= 1.0
+
+    def test_evaluate_falls_back_per_client_when_models_differ(
+            self, monkeypatch):
+        from repro.core.client import Client
+
+        trainer = make_trainer(num_byzantine=0)
+        trainer.run_round(evaluate=False)
+        # Force divergence: nudge the second eval client's model.
+        nudged = trainer.clients[1].model_vector()
+        nudged[0] += 1e-6
+        trainer.clients[1].set_model_vector(nudged)
+        calls = []
+        original = Client.evaluate
+
+        def counting(self, *args, **kwargs):
+            calls.append(self.client_id)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Client, "evaluate", counting)
+        trainer._evaluate()
+        assert len(calls) == trainer.config.eval_clients
+
 
 class TestDeterminism:
     def test_same_seed_same_history(self):

@@ -1,0 +1,224 @@
+"""Backend equivalence and degradation tests.
+
+The execution layer's contract is that the backend is a pure wall-clock
+choice: for the same seed, serial, thread and process runs produce
+bit-identical :class:`~repro.core.history.TrainingHistory` — including
+under fault injection. These tests pin that contract, plus the failure
+mode: a broken worker pool must degrade to serial with a warning, not
+hang, and must not change results.
+"""
+
+import os
+import warnings
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.attacks import make_attack
+from repro.common import ConfigurationError, RngFactory
+from repro.core import FedMSConfig, FedMSTrainer
+from repro.core.config import (
+    _EXECUTION_BACKENDS,
+    EXECUTION_BACKEND_ENV,
+    NUM_WORKERS_ENV,
+)
+from repro.data import ArrayDataset, iid_partition
+from repro.execution import (
+    EXECUTION_BACKENDS,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+    resolve_num_workers,
+)
+from repro.models import SoftmaxRegression
+from repro.simulation import FaultInjector, FaultPlan, ServerCrash
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def make_blobs(n=240, num_classes=3, dim=6, seed=0):
+    centers = np.random.default_rng(42).normal(scale=4.0,
+                                               size=(num_classes, dim))
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % num_classes
+    features = centers[labels] + rng.normal(size=(n, dim))
+    order = rng.permutation(n)
+    return ArrayDataset(features[order], labels[order])
+
+
+def make_trainer(backend, *, num_clients=6, num_servers=5, num_byzantine=1,
+                 seed=3, num_workers=2, fault_injector=None, **config_kwargs):
+    data = make_blobs(seed=seed)
+    test = make_blobs(n=90, seed=seed + 1)
+    parts = iid_partition(data, num_clients, rng=RngFactory(seed).make("part"))
+    config = FedMSConfig(
+        num_clients=num_clients,
+        num_servers=num_servers,
+        num_byzantine=num_byzantine,
+        local_steps=2,
+        batch_size=8,
+        eval_clients=2,
+        execution_backend=backend,
+        num_workers=num_workers,
+        seed=seed,
+        **config_kwargs,
+    )
+    return FedMSTrainer(
+        config,
+        model_factory=lambda rng: SoftmaxRegression(6, 3, rng=rng),
+        client_datasets=parts,
+        test_dataset=test,
+        attack=make_attack("sign_flip") if num_byzantine else None,
+        byzantine_ids=list(range(num_byzantine)) if num_byzantine else None,
+        fault_injector=fault_injector,
+    )
+
+
+def run_history(backend, num_rounds=3, **kwargs):
+    with make_trainer(backend, **kwargs) as trainer:
+        history = trainer.run(num_rounds)
+        degraded = bool(getattr(trainer.execution, "degraded", False))
+    return history, degraded
+
+
+def history_fingerprint(history):
+    return (
+        [r.train_loss for r in history.records],
+        [r.test_loss for r in history.records],
+        [r.test_accuracy for r in history.records],
+        [r.models_received for r in history.records],
+        [r.degraded_clients for r in history.records],
+        [r.fallback_clients for r in history.records],
+    )
+
+
+class TestBitIdentity:
+    def test_all_backends_bit_identical(self):
+        fingerprints = {}
+        for backend in BACKENDS:
+            history, degraded = run_history(backend)
+            assert not degraded, f"{backend} backend degraded unexpectedly"
+            fingerprints[backend] = history_fingerprint(history)
+        assert fingerprints["serial"] == fingerprints["thread"]
+        assert fingerprints["serial"] == fingerprints["process"]
+
+    def test_bit_identical_under_ps_crash(self):
+        # A crashed PS shrinks quorums, exercising the degraded-quorum
+        # filter fan-out; the backends must still agree bit for bit.
+        plan = FaultPlan(crashes=(ServerCrash(4, 1), ServerCrash(3, 2, 4)))
+        fingerprints = {}
+        for backend in BACKENDS:
+            history, _ = run_history(
+                backend, num_rounds=4,
+                fault_injector=FaultInjector(plan),
+            )
+            fingerprints[backend] = history_fingerprint(history)
+        assert fingerprints["serial"] == fingerprints["thread"]
+        assert fingerprints["serial"] == fingerprints["process"]
+
+    def test_serial_rerun_is_deterministic(self):
+        first, _ = run_history("serial")
+        second, _ = run_history("serial")
+        assert history_fingerprint(first) == history_fingerprint(second)
+
+
+class TestWorkerCrash:
+    def test_broken_pool_degrades_to_serial(self):
+        with make_trainer("process") as trainer:
+            backend = trainer.execution
+            assert isinstance(backend, ProcessPoolBackend)
+            reference, _ = run_history("serial")
+            # Kill a worker out from under the backend: the next round
+            # must warn and fall back, not hang or crash the run.
+            # Waiting on the kill future guarantees the executor has
+            # noticed the death before the round runs.
+            future = backend._executor.submit(os._exit, 1)
+            with pytest.raises(BrokenProcessPool):
+                future.result()
+            with pytest.warns(RuntimeWarning, match="degrad"):
+                history = trainer.run(3)
+            assert backend.degraded
+            assert history_fingerprint(history) == \
+                history_fingerprint(reference)
+
+    def test_degraded_pool_stays_serial(self):
+        with make_trainer("process") as trainer:
+            backend = trainer.execution
+            future = backend._executor.submit(os._exit, 1)
+            with pytest.raises(BrokenProcessPool):
+                future.result()
+            with pytest.warns(RuntimeWarning):
+                trainer.run_round(evaluate=False)
+            assert backend.degraded
+            # Subsequent rounds run without a pool and without warnings.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                trainer.run_round(evaluate=False)
+
+
+class TestFactory:
+    def test_registry_matches_config_mirror(self):
+        # config.py keeps a literal copy to avoid a circular import;
+        # this is the assertion that keeps the two in sync.
+        assert tuple(EXECUTION_BACKENDS) == tuple(_EXECUTION_BACKENDS)
+
+    def test_backend_classes(self):
+        for backend, expected in (("serial", SerialBackend),
+                                  ("thread", ThreadBackend),
+                                  ("process", ProcessPoolBackend)):
+            with make_trainer(backend) as trainer:
+                assert isinstance(trainer.execution, expected)
+                assert trainer.execution.name == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(execution_backend="gpu")
+
+    def test_close_is_idempotent(self):
+        trainer = make_trainer("process")
+        trainer.run_round(evaluate=False)
+        trainer.close()
+        trainer.close()
+
+    def test_resolve_num_workers(self):
+        assert resolve_num_workers(3, max_useful=8) == 3
+        assert resolve_num_workers(16, max_useful=4) == 4  # capped
+        auto = resolve_num_workers(0, max_useful=8)
+        assert 1 <= auto <= 8
+        with pytest.raises(ConfigurationError):
+            resolve_num_workers(-1, max_useful=4)
+
+
+class TestEnvironmentResolution:
+    def test_explicit_field_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(EXECUTION_BACKEND_ENV, "thread")
+        config = FedMSConfig(execution_backend="serial")
+        assert config.resolved_execution_backend == "serial"
+
+    def test_env_backend(self, monkeypatch):
+        monkeypatch.setenv(EXECUTION_BACKEND_ENV, "thread")
+        assert FedMSConfig().resolved_execution_backend == "thread"
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(EXECUTION_BACKEND_ENV, raising=False)
+        assert FedMSConfig().resolved_execution_backend == "serial"
+
+    def test_bad_env_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv(EXECUTION_BACKEND_ENV, "bogus")
+        with pytest.raises(ConfigurationError):
+            FedMSConfig().resolved_execution_backend
+
+    def test_env_workers(self, monkeypatch):
+        monkeypatch.setenv(NUM_WORKERS_ENV, "5")
+        assert FedMSConfig().resolved_num_workers == 5
+
+    def test_bad_env_workers_rejected(self, monkeypatch):
+        monkeypatch.setenv(NUM_WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            FedMSConfig().resolved_num_workers
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FedMSConfig(num_workers=-1)

@@ -1,0 +1,137 @@
+"""Shared-memory transport and job-spec tests."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import mean, trimmed_mean, trimmed_mean_by_count
+from repro.common import ConfigurationError
+from repro.data import ArrayDataset
+from repro.execution import (
+    FilterSpec,
+    SharedDatasetStore,
+    SharedNDArray,
+    SharedVectorBuffer,
+    WorkerSpec,
+)
+from repro.models import SoftmaxRegression
+
+
+def make_dataset(n, dim=4, num_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.normal(size=(n, dim)),
+                        rng.integers(0, num_classes, size=n))
+
+
+class TestSharedNDArray:
+    def test_roundtrip(self):
+        shared = SharedNDArray((3, 4), np.float64)
+        try:
+            shared.array[:] = np.arange(12.0).reshape(3, 4)
+            assert shared.array[2, 3] == 11.0
+            assert shared.array.dtype == np.float64
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent(self):
+        shared = SharedNDArray((2,), np.float64)
+        shared.close()
+        shared.close()
+
+
+class TestSharedVectorBuffer:
+    def test_starts_and_results_are_distinct(self):
+        buffers = SharedVectorBuffer(4, 6)
+        try:
+            buffers.starts[:] = 1.0
+            buffers.results[:] = 2.0
+            assert buffers.starts.shape == (4, 6)
+            assert np.all(buffers.starts == 1.0)
+            assert np.all(buffers.results == 2.0)
+            assert buffers.nbytes == 2 * 4 * 6 * 8
+        finally:
+            buffers.close()
+
+
+class TestSharedDatasetStore:
+    def test_datasets_match_originals(self):
+        originals = [make_dataset(10, seed=0), make_dataset(7, seed=1)]
+        store = SharedDatasetStore(originals)
+        try:
+            views = store.datasets()
+            assert len(views) == 2
+            for view, original in zip(views, originals):
+                np.testing.assert_array_equal(view.features,
+                                              original.features)
+                np.testing.assert_array_equal(view.labels, original.labels)
+        finally:
+            store.close()
+
+    def test_views_are_zero_copy(self):
+        store = SharedDatasetStore([make_dataset(5)])
+        try:
+            view = store.datasets()[0]
+            assert not view.features.flags.owndata
+            assert not view.labels.flags.owndata
+        finally:
+            store.close()
+
+    def test_nbytes_accounts_for_payload(self):
+        originals = [make_dataset(10), make_dataset(6, seed=2)]
+        store = SharedDatasetStore(originals)
+        try:
+            expected = sum(d.features.nbytes + d.labels.nbytes
+                           for d in originals)
+            assert store.nbytes >= expected
+        finally:
+            store.close()
+
+
+class TestFilterSpec:
+    def setup_method(self):
+        self.stack = np.random.default_rng(0).normal(size=(7, 5))
+
+    def test_mean(self):
+        np.testing.assert_array_equal(FilterSpec("mean")(self.stack),
+                                      mean(self.stack))
+
+    def test_trim_ratio(self):
+        np.testing.assert_array_equal(
+            FilterSpec("trim_ratio", 0.2)(self.stack),
+            trimmed_mean(self.stack, trim_ratio=0.2),
+        )
+
+    def test_trim_count(self):
+        np.testing.assert_array_equal(
+            FilterSpec("trim_count", 2)(self.stack),
+            trimmed_mean_by_count(self.stack, 2),
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FilterSpec("median")
+
+
+class TestWorkerSpec:
+    def make_spec(self, **overrides):
+        datasets = [make_dataset(8), make_dataset(8, seed=1)]
+        kwargs = dict(
+            seed=0, local_steps=2, batch_size=4, learning_rate=0.1,
+            weight_decay=0.0, include_buffers=True, flatten_inputs=False,
+            model_dim=15, num_clients=2,
+            model_factory=lambda rng: SoftmaxRegression(4, 3, rng=rng),
+            datasets=datasets, lr_schedule=None,
+        )
+        kwargs.update(overrides)
+        return WorkerSpec(**kwargs)
+
+    def test_valid(self):
+        spec = self.make_spec()
+        assert spec.num_clients == 2
+
+    def test_dataset_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            self.make_spec(num_clients=3)
+
+    def test_model_dim_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            self.make_spec(model_dim=0)

@@ -28,6 +28,22 @@ class TestParser:
         args = build_parser().parse_args(["--scale", "paper", "fig4"])
         assert args.scale == "paper"
 
+    def test_backend_and_workers_flags(self):
+        args = build_parser().parse_args(
+            ["--backend", "process", "--workers", "4", "fig4"]
+        )
+        assert args.backend == "process"
+        assert args.workers == 4
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "gpu", "fig4"])
+
+    def test_perf_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.command == "perf"
+        assert args.profile == "smoke"
+
 
 class TestCommands:
     def test_fig2_runs(self, capsys):
@@ -57,6 +73,31 @@ class TestCommands:
     def test_convergence_runs(self, capsys):
         assert main(["convergence", "--rounds", "24"]) == 0
         assert "theorem1_bound" in capsys.readouterr().out
+
+    def test_backend_flag_exports_environment(self, capsys, monkeypatch):
+        import os
+
+        # setenv (not delenv) so monkeypatch restores the variables even
+        # though main() overwrites them.
+        monkeypatch.setenv("REPRO_EXECUTION_BACKEND", "serial")
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "0")
+        assert main(["--backend", "thread", "--workers", "2", "fig4"]) == 0
+        assert os.environ["REPRO_EXECUTION_BACKEND"] == "thread"
+        assert os.environ["REPRO_NUM_WORKERS"] == "2"
+
+    def test_perf_runs_and_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["perf", "--profile", "smoke", "--output",
+                     str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "round-loop perf" in output
+        assert out.exists()
+
+    def test_perf_no_write(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["perf", "--no-write"]) == 0
+        assert "rounds/s" in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_round_loop.json").exists()
 
     def test_quickstart_runs(self, capsys):
         assert main(["quickstart"]) == 0

@@ -169,6 +169,22 @@ class TestCommCost:
         for row in result.rows:
             assert row["upload_messages_per_round"] == row["expected_messages"]
 
+    def test_byte_accounting_surfaced(self):
+        result = run_comm_cost(scale=SMOKE, num_rounds=2)
+        sparse, full = result.rows
+        for row in result.rows:
+            # Total = uploads + disseminations (lossless network).
+            assert row["total_bytes"] == pytest.approx(
+                2 * (row["upload_bytes_per_round"]
+                     + row["dissemination_bytes_per_round"])
+            )
+            assert row["offered_bytes"] == row["total_bytes"]  # no drops
+        # Upload volume scales with the strategy, dissemination does not.
+        assert full["upload_bytes_per_round"] == \
+            SMOKE.num_servers * sparse["upload_bytes_per_round"]
+        assert full["dissemination_bytes_per_round"] == \
+            sparse["dissemination_bytes_per_round"]
+
 
 class TestConvergence:
     def test_suboptimality_below_bound_and_decaying(self):

@@ -136,6 +136,18 @@ class TestNetwork:
         assert stats["dropped_total"] == 2
         assert stats["dropped_by_tag"] == {"upload": 2}
 
+    def test_dropped_bytes_attributed_per_tag(self):
+        network = Network(drop_rule=lambda m: m.tag == "upload")
+        network.send(make_message(tag="upload", size=10))      # 80 bytes lost
+        network.send(make_message(tag="upload", size=5))       # 40 bytes lost
+        network.send(make_message(tag="dissemination", size=4))
+        stats = network.stats.snapshot()
+        assert stats["dropped_bytes_total"] == 120
+        assert stats["dropped_bytes_by_tag"] == {"upload": 120}
+        # delivered + dropped = what senders offered
+        assert stats["offered_bytes_total"] == 120 + 32
+        assert network.stats.bytes_total == 32
+
     def test_retry_accounting(self):
         stats = Network().stats
         stats.record_retry("upload")
@@ -153,6 +165,8 @@ class TestNetwork:
         snapshot = network.stats.snapshot()
         assert snapshot["dropped_total"] == 0
         assert snapshot["dropped_by_tag"] == {}
+        assert snapshot["dropped_bytes_total"] == 0
+        assert snapshot["dropped_bytes_by_tag"] == {}
         assert snapshot["cleared_total"] == 0
         assert snapshot["retries_total"] == 0
         assert snapshot["retries_by_tag"] == {}
