@@ -3,30 +3,104 @@
 Benchmarks and examples select filters by name (``"trimmed_mean"``,
 ``"median"``, ...); this registry maps those names to closures with a
 uniform ``stack -> vector`` signature.
+
+Parameters are validated eagerly: a ``trim_ratio`` outside ``[0, 0.5)`` or
+a ``num_byzantine`` the stack size cannot tolerate raises
+:class:`~repro.common.errors.ConfigurationError` at construction time with
+an actionable message, instead of silently mis-aggregating (or failing
+rounds deep into a run).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..common.errors import ConfigurationError
 from . import rules
 
-__all__ = ["AggregationRule", "available_rules", "make_rule"]
+__all__ = ["AggregationRule", "available_rules", "make_rule",
+           "validate_rule_params"]
 
 AggregationRule = Callable[[np.ndarray], np.ndarray]
+
+#: Rules parameterized by ``num_byzantine`` and their minimum stack size
+#: as a function of ``f`` (Blanchard et al. 2017; Guerraoui & Rouault 2018).
+_MIN_STACK = {
+    "krum": lambda f: 2 * f + 3,
+    "multi_krum": lambda f: 2 * f + 3,
+    "bulyan": lambda f: 4 * f + 3,
+}
 
 
 def available_rules() -> List[str]:
     """Names accepted by :func:`make_rule`."""
-    return ["mean", "trimmed_mean", "median", "geometric_median", "krum",
-            "multi_krum", "bulyan"]
+    return ["mean", "trimmed_mean", "adaptive_trimmed_mean", "median",
+            "geometric_median", "krum", "multi_krum", "bulyan", "loss_based"]
+
+
+def validate_rule_params(name: str, *, trim_ratio: float = 0.0,
+                         num_byzantine: int = 0,
+                         mad_threshold: float = rules.DEFAULT_MAD_THRESHOLD,
+                         loss_fn: Optional[Callable[[np.ndarray], float]]
+                         = None,
+                         num_models: Optional[int] = None) -> None:
+    """Validate the parameters of rule ``name`` without building it.
+
+    ``num_models``, when given, is the stack size the rule will be applied
+    to (``P`` in the trainer); it enables the compatibility checks that
+    depend on it — ``n >= 2f + 3`` for krum/multi-krum, ``n >= 4f + 3``
+    for bulyan, and a trim that leaves at least one survivor for the
+    trimmed mean.
+    """
+    if name not in available_rules():
+        raise ConfigurationError(
+            f"unknown aggregation rule {name!r}; available: "
+            f"{available_rules()}"
+        )
+    if not 0.0 <= trim_ratio < 0.5:
+        raise ConfigurationError(
+            f"trim_ratio must be in [0, 0.5), got {trim_ratio}: trimming "
+            f"half or more from each tail leaves no models to average"
+        )
+    if num_byzantine < 0:
+        raise ConfigurationError(
+            f"num_byzantine must be >= 0, got {num_byzantine}"
+        )
+    if mad_threshold <= 0:
+        raise ConfigurationError(
+            f"mad_threshold must be positive, got {mad_threshold}"
+        )
+    if name == "loss_based" and loss_fn is None:
+        raise ConfigurationError(
+            "loss_based requires a loss_fn (model vector -> trusted-batch "
+            "loss); pass loss_fn= to make_rule, or let the trainer build "
+            "one from its root dataset via FedMSConfig.filter_rule_name"
+        )
+    if num_models is not None:
+        if num_models <= 0:
+            raise ConfigurationError(
+                f"num_models must be positive, got {num_models}"
+            )
+        if name == "trimmed_mean":
+            # Raises with the exact infeasible count when nothing survives.
+            rules.trim_count(num_models, trim_ratio)
+        minimum = _MIN_STACK.get(name)
+        if minimum is not None and num_models < minimum(num_byzantine):
+            raise ConfigurationError(
+                f"{name} needs n >= {minimum(num_byzantine)} models to "
+                f"tolerate f = {num_byzantine} Byzantine ones, but only "
+                f"{num_models} will be aggregated; lower num_byzantine or "
+                f"add servers"
+            )
 
 
 def make_rule(name: str, *, trim_ratio: float = 0.0,
-              num_byzantine: int = 0) -> AggregationRule:
+              num_byzantine: int = 0,
+              mad_threshold: float = rules.DEFAULT_MAD_THRESHOLD,
+              loss_fn: Optional[Callable[[np.ndarray], float]] = None,
+              num_models: Optional[int] = None) -> AggregationRule:
     """Build a ``stack -> vector`` aggregation closure.
 
     Parameters
@@ -34,22 +108,34 @@ def make_rule(name: str, *, trim_ratio: float = 0.0,
     name:
         One of :func:`available_rules`.
     trim_ratio:
-        Used by ``trimmed_mean`` (the paper's beta).
+        Used by ``trimmed_mean`` (the paper's beta). Must be in [0, 0.5).
     num_byzantine:
-        Used by ``krum`` / ``multi_krum`` (their ``f`` parameter).
+        Used by ``krum`` / ``multi_krum`` / ``bulyan`` (their ``f``).
+    mad_threshold:
+        Used by ``adaptive_trimmed_mean``: the modified-z-score cutoff of
+        the per-round Byzantine-count estimator.
+    loss_fn:
+        Required by ``loss_based``: maps a candidate model vector to its
+        loss on a small trusted root batch.
+    num_models:
+        Optional expected stack size; enables the eager compatibility
+        checks of :func:`validate_rule_params`.
     """
+    validate_rule_params(name, trim_ratio=trim_ratio,
+                         num_byzantine=num_byzantine,
+                         mad_threshold=mad_threshold, loss_fn=loss_fn,
+                         num_models=num_models)
     builders: Dict[str, AggregationRule] = {
         "mean": rules.mean,
         "trimmed_mean": lambda stack: rules.trimmed_mean(stack, trim_ratio),
+        "adaptive_trimmed_mean": lambda stack: rules.adaptive_trimmed_mean(
+            stack, threshold=mad_threshold),
         "median": rules.coordinate_median,
         "geometric_median": rules.geometric_median,
         "krum": lambda stack: rules.krum(stack, num_byzantine),
         "multi_krum": lambda stack: rules.multi_krum(stack, num_byzantine),
         "bulyan": lambda stack: rules.bulyan(stack, num_byzantine),
+        "loss_based": lambda stack: rules.loss_based_selection(
+            stack, loss_fn),
     }
-    try:
-        return builders[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown aggregation rule {name!r}; available: {available_rules()}"
-        ) from None
+    return builders[name]

@@ -13,7 +13,7 @@ row per received model — and return a single vector of shape ``(dim,)``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,7 +31,20 @@ __all__ = [
     "multi_krum",
     "krum_index",
     "bulyan",
+    "mad_outlier_scores",
+    "estimate_byzantine_count",
+    "adaptive_trimmed_mean",
+    "adaptive_trimmed_mean_info",
+    "loss_based_selection",
+    "loss_based_selection_info",
+    "DEFAULT_MAD_THRESHOLD",
 ]
+
+#: Default modified-z-score cutoff for the adaptive Byzantine-count
+#: estimator. 3.5 is the classic Iglewicz-Hoaglin recommendation: benign
+#: models produced by honest local SGD essentially never score above it,
+#: while models perturbed beyond the honest inter-model spread do.
+DEFAULT_MAD_THRESHOLD = 3.5
 
 
 def _check_stack(stack: np.ndarray) -> np.ndarray:
@@ -291,3 +304,151 @@ def bulyan(stack: np.ndarray, num_byzantine: int) -> np.ndarray:
     distance_order = np.argsort(np.abs(chosen - median), axis=0)
     closest = np.take_along_axis(chosen, distance_order[:keep], axis=0)
     return closest.mean(axis=0)
+
+
+# -- adaptive Byzantine-count estimation -------------------------------------
+
+
+def mad_outlier_scores(stack: np.ndarray) -> np.ndarray:
+    """Modified z-score of each row's distance to the coordinate median.
+
+    Scores row ``i`` by ``d_i = ||row_i - median(stack)||_2``, then
+    normalizes the distances with the median absolute deviation (MAD):
+    ``0.6745 * (d_i - median(d)) / MAD(d)`` — the Iglewicz-Hoaglin
+    modified z-score, robust to up to half the rows being arbitrary.
+
+    A zero MAD means at least half the rows sit at *exactly* the median
+    distance — e.g. every honest PS broadcast a bit-identical aggregate.
+    Any row at a measurably different distance is then an outlier by
+    construction, so the MAD is floored at a relative epsilon instead of
+    letting the scores collapse: a colluding cohort that coincides with
+    itself but not with the honest majority still scores far above any
+    threshold. If every distance is identical nothing is an outlier and
+    all rows score 0.
+    """
+    stack = _check_stack(stack)
+    center = np.median(stack, axis=0)
+    deltas = stack - center
+    distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+    median_distance = float(np.median(distances))
+    deviations = np.abs(distances - median_distance)
+    mad = float(np.median(deviations))
+    if mad <= 0.0:
+        if float(deviations.max()) <= 0.0:
+            return np.zeros(stack.shape[0])
+        mad = 1e-12 * max(float(distances.max()), 1.0)
+    return 0.6745 * (distances - median_distance) / mad
+
+
+def estimate_byzantine_count(stack: np.ndarray, *,
+                             threshold: float = DEFAULT_MAD_THRESHOLD) -> int:
+    """Estimate ``B-hat``, the number of Byzantine rows, from dispersion.
+
+    Counts the rows whose :func:`mad_outlier_scores` exceeds ``threshold``,
+    clamped so the subsequent trim stays feasible (``2 * B-hat < n``). Chen
+    et al. (arXiv:2510.04432) show the over/under-estimation trade-off is
+    first-order for convergence: over-estimating discards honest signal,
+    under-estimating admits tampered models — the per-round estimate tracks
+    a time-varying true ``B`` instead of trusting a static config value.
+    """
+    _, count, _ = adaptive_trimmed_mean_info(stack, threshold=threshold)
+    return count
+
+
+def adaptive_trimmed_mean_info(
+        stack: np.ndarray, *, threshold: float = DEFAULT_MAD_THRESHOLD
+) -> Tuple[np.ndarray, int, Tuple[int, ...]]:
+    """Adaptive-beta trimmed mean, with the evidence behind it.
+
+    Returns ``(vector, b_hat, flagged_rows)`` where ``vector`` is the
+    coordinate-wise trimmed mean with ``b_hat`` entries removed from each
+    tail, ``b_hat`` is the per-round Byzantine-count estimate, and
+    ``flagged_rows`` are the indices of the rows the estimator scored as
+    outliers (sorted). When more than ``floor((n-1)/2)`` rows are flagged
+    only the worst-scoring ones are kept so the trim remains well-defined.
+
+    A deterministic pure function of the stack: no randomness, stable
+    tie-breaking — the property the execution backends' bit-identity
+    contract requires.
+    """
+    stack = _check_stack(stack)
+    if threshold <= 0:
+        raise ConfigurationError(
+            f"threshold must be positive, got {threshold}"
+        )
+    scores = mad_outlier_scores(stack)
+    flagged = np.flatnonzero(scores > threshold)
+    max_count = (stack.shape[0] - 1) // 2
+    if flagged.size > max_count:
+        worst_first = flagged[np.argsort(-scores[flagged], kind="stable")]
+        flagged = worst_first[:max_count]
+    b_hat = int(flagged.size)
+    vector = trimmed_mean_by_count(stack, b_hat)
+    return vector, b_hat, tuple(sorted(int(i) for i in flagged))
+
+
+def adaptive_trimmed_mean(stack: np.ndarray, *,
+                          threshold: float = DEFAULT_MAD_THRESHOLD
+                          ) -> np.ndarray:
+    """Trimmed mean whose per-tail count is estimated from the stack itself.
+
+    The static filter trusts ``beta = B / P`` from config; this variant
+    estimates ``B-hat`` per invocation from inter-model dispersion
+    (:func:`estimate_byzantine_count`) and trims that many entries from
+    each tail. It needs no knowledge of the expected stack size, so it
+    degrades naturally under faults: a reduced quorum is re-estimated on
+    its own terms rather than falling back to a precomputed trim count.
+    """
+    vector, _, _ = adaptive_trimmed_mean_info(stack, threshold=threshold)
+    return vector
+
+
+# -- loss-based greedy selection ---------------------------------------------
+
+
+def loss_based_selection_info(
+        stack: np.ndarray, loss_fn: Callable[[np.ndarray], float]
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """FedGreed-style selection: ``(vector, selected_rows)``.
+
+    Ranks the candidate models by ``loss_fn`` (their loss on a small
+    trusted root batch — FedGreed, arXiv:2508.18060), then greedily grows
+    an average starting from the lowest-loss candidate: the next-ranked
+    model is admitted only while the running average's loss does not
+    increase. Sidesteps Byzantine-count estimation entirely — a colluding
+    cohort that all disseminate the same poisoned model simply ranks last
+    and is never admitted, regardless of how many colluders there are
+    (as long as one honest model ranks first).
+
+    Candidates with non-finite loss (diverged or hostile models) sort last
+    and are never reached by the greedy scan. Ties are broken by row index
+    (stable sort), keeping the selection deterministic.
+    """
+    stack = _check_stack(stack)
+    losses = np.array([float(loss_fn(row)) for row in stack])
+    order = np.argsort(losses, kind="stable")
+    best = int(order[0])
+    selected: List[int] = [best]
+    current = stack[best].astype(np.float64, copy=True)
+    current_loss = losses[best]
+    for index in order[1:]:
+        if not np.isfinite(losses[index]):
+            break
+        candidate = (current * len(selected) + stack[index]) \
+            / (len(selected) + 1)
+        candidate_loss = float(loss_fn(candidate))
+        if np.isfinite(candidate_loss) and candidate_loss <= current_loss:
+            selected.append(int(index))
+            current = candidate
+            current_loss = candidate_loss
+        else:
+            break
+    return current, tuple(sorted(selected))
+
+
+def loss_based_selection(stack: np.ndarray,
+                         loss_fn: Callable[[np.ndarray], float]
+                         ) -> np.ndarray:
+    """The model vector produced by FedGreed-style greedy selection."""
+    vector, _ = loss_based_selection_info(stack, loss_fn)
+    return vector

@@ -14,6 +14,8 @@ from .client_attacks import (
 from .catalog import (
     AdaptiveTrimmedMeanAttack,
     BackwardAttack,
+    ColludingAttack,
+    DispersionMimicryAttack,
     IdentityAttack,
     InconsistentAttack,
     InnerProductManipulationAttack,
@@ -38,6 +40,8 @@ __all__ = [
     "InconsistentAttack",
     "AdaptiveTrimmedMeanAttack",
     "InnerProductManipulationAttack",
+    "ColludingAttack",
+    "DispersionMimicryAttack",
     "available_attacks",
     "make_attack",
     "PAPER_ATTACKS",

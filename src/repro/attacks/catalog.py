@@ -16,14 +16,21 @@ Extensions used by the ablation benchmarks:
   client, the worst case the threat model explicitly allows;
 * :class:`AdaptiveTrimmedMeanAttack` — an adaptive adversary that knows the
   defense is a beta-trimmed mean and biases its lie to the edge of what
-  survives trimming (an ALIE-style attack).
+  survives trimming (an ALIE-style attack);
+* :class:`ColludingAttack` — every Byzantine PS disseminates the *same*
+  poisoned vector, so under-trimming admits multiple aligned copies;
+* :class:`DispersionMimicryAttack` — a colluding lie shaped to match the
+  honest inter-model variance, so a static-beta trimmed mean admits it.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..common.errors import ConfigurationError
+from ..common.rng import stream_seed
 from .base import Attack, AttackContext
 
 __all__ = [
@@ -37,6 +44,8 @@ __all__ = [
     "InconsistentAttack",
     "AdaptiveTrimmedMeanAttack",
     "InnerProductManipulationAttack",
+    "ColludingAttack",
+    "DispersionMimicryAttack",
 ]
 
 
@@ -267,3 +276,112 @@ class InnerProductManipulationAttack(Attack):
 
     def __repr__(self) -> str:
         return f"InnerProductManipulationAttack(epsilon={self.epsilon})"
+
+
+class ColludingAttack(Attack):
+    """Coordinated lie: every Byzantine PS disseminates the same vector.
+
+    The tampered model is the benign mean pushed along a shared poisoned
+    direction derived deterministically from ``(seed, round)`` — *not*
+    from the per-server attack stream — so all colluders produce a
+    bit-identical lie without communicating. Against a trimmed mean whose
+    ``beta`` under-estimates the true Byzantine count, ``B - t`` aligned
+    copies survive trimming in every coordinate and bias the filtered
+    model in a consistent direction round after round; with the oracle
+    ``beta = B / P`` all copies sit in the trimmed tails and the attack is
+    neutralized. Loss-based selection rejects the whole cohort at once:
+    the shared lie ranks last on the trusted batch no matter how many
+    copies arrive.
+    """
+
+    name = "colluding"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0) -> None:
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+        self.seed = int(seed)
+
+    def _shared_direction(self, round_index: int, dim: int) -> np.ndarray:
+        rng = np.random.default_rng(stream_seed(
+            self.seed, f"attack/colluding/round/{round_index}"
+        ))
+        return rng.normal(size=dim)
+
+    def tamper(self, context: AttackContext) -> np.ndarray:
+        stack = context.all_server_aggregates
+        base = (stack.mean(axis=0) if stack is not None
+                and stack.shape[0] >= 1 else context.true_aggregate)
+        direction = self._shared_direction(context.round_index, base.size)
+        return base + self.scale * direction
+
+    def __repr__(self) -> str:
+        return f"ColludingAttack(scale={self.scale}, seed={self.seed})"
+
+
+class DispersionMimicryAttack(Attack):
+    """Colluding lie shaped to hide inside the honest inter-model spread.
+
+    Adaptive knowledge in full: the attack reads all PSs' honest
+    aggregates, takes their coordinate-wise median ``m`` and standard
+    deviation ``s``, and disseminates::
+
+        m + envelope * max_i ||a_i - m|| * unit(sign ⊙ s)
+
+    — a vector whose per-coordinate offset is proportional to the honest
+    spread in that coordinate (so a static-beta trimmed mean sees it as
+    one more plausibly-honest model and admits it when under-trimmed) and
+    whose distance from the median is ``envelope`` times the largest
+    *honest* deviation. The sign pattern is fixed per attack instance, so
+    the admitted bias compounds across rounds; like the colluding attack,
+    the lie is identical on every Byzantine PS.
+
+    With ``envelope <= 1`` the lie is indistinguishable from the outermost
+    honest model by dispersion alone; the default ``envelope = 2`` is the
+    attacker's sweet spot against a *static* under-trimmed filter — far
+    enough out to hurt, close enough in to survive trimming — while the
+    MAD-based adaptive estimator scores it as an outlier and trims it.
+
+    Falls back to honesty while fewer than three aggregates are visible
+    (no spread to mimic).
+    """
+
+    name = "dispersion_mimicry"
+
+    def __init__(self, envelope: float = 2.0, seed: int = 0) -> None:
+        if envelope <= 0:
+            raise ConfigurationError(
+                f"envelope must be positive, got {envelope}"
+            )
+        self.envelope = float(envelope)
+        self.seed = int(seed)
+        self._signs: Optional[np.ndarray] = None
+
+    def _sign_pattern(self, dim: int) -> np.ndarray:
+        if self._signs is None or self._signs.size != dim:
+            rng = np.random.default_rng(stream_seed(
+                self.seed, "attack/mimicry/signs"
+            ))
+            self._signs = np.where(rng.random(dim) < 0.5, -1.0, 1.0)
+        return self._signs
+
+    def tamper(self, context: AttackContext) -> np.ndarray:
+        stack = context.all_server_aggregates
+        if stack is None or stack.shape[0] < 3:
+            return context.true_aggregate.copy()
+        center = np.median(stack, axis=0)
+        spread = stack.std(axis=0)
+        spread_norm = float(np.linalg.norm(spread))
+        deltas = stack - center
+        distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        target = self.envelope * float(distances.max())
+        if spread_norm <= 0.0 or target <= 0.0:
+            # All honest models coincide: any deviation would stand out,
+            # so the optimal mimicry is a perfect copy.
+            return center
+        direction = self._sign_pattern(center.size) * spread / spread_norm
+        return center + target * direction
+
+    def __repr__(self) -> str:
+        return (f"DispersionMimicryAttack(envelope={self.envelope}, "
+                f"seed={self.seed})")

@@ -9,6 +9,8 @@ from .base import Attack
 from .catalog import (
     AdaptiveTrimmedMeanAttack,
     BackwardAttack,
+    ColludingAttack,
+    DispersionMimicryAttack,
     IdentityAttack,
     InconsistentAttack,
     InnerProductManipulationAttack,
@@ -35,6 +37,8 @@ _BUILDERS: Dict[str, Callable[[], Attack]] = {
     "inconsistent": InconsistentAttack,
     "adaptive_trimmed_mean": AdaptiveTrimmedMeanAttack,
     "inner_product": InnerProductManipulationAttack,
+    "colluding": ColludingAttack,
+    "dispersion_mimicry": DispersionMimicryAttack,
 }
 
 

@@ -10,6 +10,7 @@ Usage::
     python -m repro convergence --rounds 120
     python -m repro ablation
     python -m repro faults --loss-rate 0.2 --crashes 2
+    python -m repro adaptive --attack dispersion_mimicry
     python -m repro quickstart
     python -m repro perf --profile smoke
 
@@ -36,6 +37,7 @@ from .experiments import (
     current_scale,
     format_figure,
     format_report,
+    run_adaptive_crossover,
     run_comm_cost,
     run_convergence_rate,
     run_fault_tolerance,
@@ -102,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "the rest recover (default 2)")
     faults.add_argument("--attack", default="noise",
                         choices=available_attacks())
+
+    adaptive = commands.add_parser(
+        "adaptive", help="adaptive-beta vs static-beta vs loss-based "
+                         "crossover sweep (extension)")
+    adaptive.add_argument("--attack", default="dispersion_mimicry",
+                          choices=available_attacks())
+    adaptive.add_argument("--no-faults", action="store_true",
+                          help="skip the companion runs with one benign "
+                               "PS crash")
 
     commands.add_parser("quickstart", help="tiny end-to-end demo run")
 
@@ -176,6 +187,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   num_crashes=args.crashes,
                                   attack_name=args.attack,
                                   scale=scale, seed=seed))
+    elif args.command == "adaptive":
+        _emit(run_adaptive_crossover(attack_name=args.attack,
+                                     with_faults=not args.no_faults,
+                                     scale=scale, seed=seed))
     elif args.command == "quickstart":
         from . import quick_fed_ms_run
 

@@ -2,6 +2,12 @@
 
 from .client import Client
 from .config import FaultConfig, FedMSConfig
+from .filtering import (
+    FilterOutcome,
+    ResolvedFilter,
+    RootLossEvaluator,
+    resolve_filter,
+)
 from .hierarchical import HierarchicalTrainer
 from .history import RoundRecord, TrainingHistory
 from .server import ByzantineParameterServer, ParameterServer
@@ -25,6 +31,10 @@ __all__ = [
     "FedMSTrainer",
     "HierarchicalTrainer",
     "make_fedavg_trainer",
+    "FilterOutcome",
+    "ResolvedFilter",
+    "RootLossEvaluator",
+    "resolve_filter",
     "RoundRecord",
     "TrainingHistory",
     "UploadStrategy",

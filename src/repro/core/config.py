@@ -13,6 +13,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..aggregation.registry import validate_rule_params
 from ..common.errors import ConfigurationError
 from ..common.validation import (
     check_fraction,
@@ -98,6 +99,21 @@ class FedMSConfig:
     trim_ratio:
         ``beta`` — the model filter's trimmed rate. Defaults to ``B / P``
         (the value the theory prescribes) when left ``None``.
+    filter_rule_name:
+        Which registry rule the clients' ``Def()`` filter uses (see
+        :func:`repro.aggregation.available_rules`). ``None`` (default)
+        keeps the paper's static beta-trimmed mean.
+        ``"adaptive_trimmed_mean"`` estimates the Byzantine count per
+        round from inter-model dispersion; ``"loss_based"`` ranks the
+        received models by loss on a trusted root batch (FedGreed-style)
+        and greedily selects while the loss improves. An explicit
+        ``filter_rule`` closure passed to the trainer overrides this.
+    mad_threshold:
+        Modified-z-score cutoff of the adaptive Byzantine-count estimator
+        (only used by ``filter_rule_name="adaptive_trimmed_mean"``).
+    root_batch_size:
+        Size of the trusted root batch the loss-based filter evaluates
+        candidates on (only used by ``filter_rule_name="loss_based"``).
     upload_strategy:
         ``"sparse"`` (paper default — one uniformly random PS per client),
         ``"full"`` (every PS), or ``"multi"`` (a fixed number of PSs, see
@@ -144,6 +160,9 @@ class FedMSConfig:
     batch_size: int = 32
     learning_rate: float = 0.05
     trim_ratio: Optional[float] = None
+    filter_rule_name: Optional[str] = None
+    mad_threshold: float = 3.5
+    root_batch_size: int = 64
     upload_strategy: str = "sparse"
     uploads_per_client: int = 1
     include_buffers: bool = True
@@ -193,6 +212,23 @@ class FedMSConfig:
         else:
             self.resolved_trim_ratio = check_fraction(
                 self.trim_ratio, "trim_ratio", upper=0.5, inclusive_upper=False
+            )
+        check_positive_int(self.root_batch_size, "root_batch_size")
+        require(self.mad_threshold > 0,
+                f"mad_threshold must be positive, got {self.mad_threshold}")
+        if self.filter_rule_name is not None:
+            # The loss-based rule's loss_fn is supplied by the trainer (it
+            # needs the root dataset), so only the name-level parameters
+            # are checked here — with the real stack size, so an
+            # incompatible (rule, P, B) combination fails at config time.
+            validate_rule_params(
+                self.filter_rule_name,
+                trim_ratio=self.resolved_trim_ratio,
+                num_byzantine=self.num_byzantine,
+                mad_threshold=self.mad_threshold,
+                loss_fn=(lambda _: 0.0) if self.filter_rule_name
+                == "loss_based" else None,
+                num_models=self.num_servers,
             )
 
     @property

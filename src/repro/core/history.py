@@ -22,6 +22,14 @@ class RoundRecord:
     reduced quorum with the recomputed trim count, and
     ``fallback_clients`` lists clients that kept their previous feasible
     model because the quorum was too small (``q <= 2B``) or empty.
+
+    The robustness fields record what an *estimating* filter concluded:
+    ``estimated_byzantine`` is the round's Byzantine-count estimate
+    ``B-hat`` (the maximum across clients when they disagree under
+    faults; ``None`` for rules that do not estimate), and
+    ``filtered_model_ids`` lists the PSs whose disseminated model at
+    least one client's filter rejected outright — the adaptive rule's
+    flagged outliers, or the candidates loss-based selection declined.
     """
 
     round_index: int
@@ -39,6 +47,8 @@ class RoundRecord:
     degraded_clients: List[int] = field(default_factory=list)
     fallback_clients: List[int] = field(default_factory=list)
     fault_events: List[str] = field(default_factory=list)
+    estimated_byzantine: Optional[int] = None
+    filtered_model_ids: List[int] = field(default_factory=list)
 
     @property
     def min_models_received(self) -> Optional[int]:
@@ -122,6 +132,30 @@ class TrainingHistory:
         """Per-round minimum quorum across clients, in round order."""
         return [r.min_models_received for r in self.records]
 
+    @property
+    def estimated_byzantine_trace(self) -> List[Optional[int]]:
+        """Per-round ``B-hat`` of an estimating filter (``None`` where the
+        rule does not estimate), in round order."""
+        return [r.estimated_byzantine for r in self.records]
+
+    @property
+    def mean_estimated_byzantine(self) -> Optional[float]:
+        """Average ``B-hat`` over the rounds that produced an estimate."""
+        estimates = [e for e in self.estimated_byzantine_trace
+                     if e is not None]
+        if not estimates:
+            return None
+        return sum(estimates) / len(estimates)
+
+    @property
+    def filtered_model_id_counts(self) -> Dict[int, int]:
+        """How many rounds each PS's model was rejected by some client."""
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            for server_id in record.filtered_model_ids:
+                counts[server_id] = counts.get(server_id, 0) + 1
+        return counts
+
     def to_dict(self) -> Dict[str, object]:
         """A json-ready summary of the run."""
         return {
@@ -139,4 +173,7 @@ class TrainingHistory:
             "degraded_rounds": self.degraded_rounds,
             "min_models_received_per_round":
                 self.min_models_received_per_round,
+            "estimated_byzantine_trace": self.estimated_byzantine_trace,
+            "mean_estimated_byzantine": self.mean_estimated_byzantine,
+            "filtered_model_id_counts": self.filtered_model_id_counts,
         }

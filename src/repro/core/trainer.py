@@ -21,7 +21,7 @@ when ``q`` is too small to out-vote the Byzantine PSs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -29,8 +29,6 @@ from ..aggregation import (
     AggregationRule,
     degraded_trim_count,
     make_rule,
-    mean,
-    trimmed_mean_by_count,
 )
 from ..attacks.base import Attack
 from ..attacks.client_attacks import ClientAttack, ClientAttackContext
@@ -46,6 +44,7 @@ from ..simulation.network import Message, Network, NodeId
 from ..simulation.scheduler import RoundScheduler
 from .client import Client
 from .config import FedMSConfig
+from .filtering import FilterOutcome, resolve_filter
 from .history import RoundRecord, TrainingHistory
 from .server import ByzantineParameterServer, ParameterServer
 from .upload import RetryPolicy, UploadStrategy, make_upload_strategy
@@ -74,6 +73,8 @@ class _RoundState:
     models_received: Dict[int, int] = field(default_factory=dict)
     degraded_clients: List[int] = field(default_factory=list)
     fallback_clients: List[int] = field(default_factory=list)
+    estimated_byzantine: Optional[int] = None
+    filtered_model_ids: Set[int] = field(default_factory=set)
 
 
 class FedMSTrainer:
@@ -99,9 +100,14 @@ class FedMSTrainer:
         ``B`` (their distribution is unknown to the clients, per the threat
         model).
     filter_rule:
-        The client-side ``Def()``. Default: the beta-trimmed mean with
-        ``beta = config.resolved_trim_ratio``. Pass ``make_rule("mean")``
-        for the paper's undefended "Vanilla FL" comparison.
+        The client-side ``Def()``. Default: the rule named by
+        ``config.filter_rule_name`` (the beta-trimmed mean with
+        ``beta = config.resolved_trim_ratio`` when unset). Pass
+        ``make_rule("mean")`` for the paper's undefended "Vanilla FL"
+        comparison; an explicit closure wins over the config name.
+    root_dataset:
+        Trusted data for the ``loss_based`` filter's root batch; defaults
+        to ``test_dataset``. Ignored by every other rule.
     lr_schedule:
         Optional global-step learning-rate schedule (e.g. the Theorem 1
         policy); defaults to a constant ``config.learning_rate``.
@@ -134,6 +140,7 @@ class FedMSTrainer:
                  attack: Optional[Attack] = None,
                  byzantine_ids: Optional[Sequence[int]] = None,
                  filter_rule: Optional[AggregationRule] = None,
+                 root_dataset: Optional[ArrayDataset] = None,
                  lr_schedule: Optional[LRSchedule] = None,
                  weight_decay: float = 0.0,
                  flatten_inputs: bool = False,
@@ -169,16 +176,25 @@ class FedMSTrainer:
         self.upload_strategy: UploadStrategy = make_upload_strategy(
             config.upload_strategy, uploads_per_client=config.uploads_per_client
         )
-        self.filter_rule: AggregationRule = (
-            filter_rule if filter_rule is not None
-            else make_rule("trimmed_mean", trim_ratio=config.resolved_trim_ratio)
+        # Def() in every form the round loop needs: the plain closure, a
+        # picklable FilterSpec when the backends can fan it out, the beta
+        # for degraded-quorum trim-count recomputation (static trimmed
+        # mean only — estimating rules re-estimate on the reduced stack),
+        # and the info_fn that yields B-hat + rejected rows for recording.
+        resolved = resolve_filter(
+            config,
+            filter_rule=filter_rule,
+            model_factory=model_factory,
+            root_dataset=(root_dataset if root_dataset is not None
+                          else test_dataset),
+            flatten_inputs=flatten_inputs,
+            root_rng=self.rngs.make("filter/root_batch"),
         )
-        # The degraded-quorum path recomputes the trim count from the
-        # configured beta; a custom filter rule is an opaque closure, so
-        # degraded stacks are then handed to it unchanged.
-        self._degraded_trim_ratio: Optional[float] = (
-            config.resolved_trim_ratio if filter_rule is None else None
-        )
+        self.filter_rule: AggregationRule = resolved.rule
+        self._degraded_trim_ratio: Optional[float] = \
+            resolved.degraded_trim_ratio
+        self._filter_info_fn = resolved.info_fn
+        self._resolved_filter = resolved
 
         self.fault_config = config.resolved_faults
         self.fault_injector = fault_injector
@@ -245,15 +261,9 @@ class FedMSTrainer:
             num_workers=config.resolved_num_workers,
         )
         # Picklable description of the Def() filter, when it has one:
-        # fan-out-able to workers. Custom closures are applied in-process.
-        if filter_rule is None:
-            self._filter_spec: Optional[FilterSpec] = FilterSpec(
-                "trim_ratio", config.resolved_trim_ratio
-            )
-        elif filter_rule is mean:
-            self._filter_spec = FilterSpec("mean")
-        else:
-            self._filter_spec = None
+        # fan-out-able to workers. Estimating rules and custom closures
+        # are applied in-process.
+        self._filter_spec: Optional[FilterSpec] = resolved.spec
 
         self.byzantine_ids = self._resolve_byzantine_ids(byzantine_ids)
         self.client_attack = client_attack
@@ -376,6 +386,8 @@ class FedMSTrainer:
             degraded_clients=sorted(state.degraded_clients),
             fallback_clients=sorted(state.fallback_clients),
             fault_events=list(state.fault_events),
+            estimated_byzantine=state.estimated_byzantine,
+            filtered_model_ids=sorted(state.filtered_model_ids),
         )
         if evaluate:
             record.test_loss, record.test_accuracy = self._evaluate()
@@ -561,14 +573,12 @@ class FedMSTrainer:
         state = self._round
         assert state is not None
         config = self.config
-        shared_filtered = self._shared_filtered_model(state.broadcast_cache)
+        shared_filtered = self._shared_filtered_model(state)
         expected = config.num_servers
         backend_jobs: List[FilterJob] = []
         for client in state.active_clients:
-            received = [
-                message.payload for message in
-                self.network.receive(NodeId.client(client.client_id))
-            ]
+            messages = self.network.receive(NodeId.client(client.client_id))
+            received = [message.payload for message in messages]
             quorum = len(received)
             state.models_received[client.client_id] = quorum
             if shared_filtered is not None:
@@ -582,6 +592,19 @@ class FedMSTrainer:
                 # rolls back to its previous feasible model rather than
                 # keep unfiltered local drift.
                 self._fall_back(client, state)
+            elif self._filter_info_fn is not None:
+                # Estimating rules (adaptive-beta, loss-based) need no
+                # expected-P trim count, so a reduced quorum is filtered
+                # natively — B-hat is re-estimated on whatever arrived.
+                if quorum < expected:
+                    state.degraded_clients.append(client.client_id)
+                outcome = self._filter_info_fn(np.stack(received))
+                self._record_filter_outcome(
+                    state, outcome,
+                    sender_ids=[m.sender.index for m in messages],
+                )
+                client.set_model_vector(outcome.vector)
+                client.optimizer.reset_state()
             elif quorum < expected and self._degraded_trim_ratio is not None:
                 count = degraded_trim_count(
                     quorum, expected, self._degraded_trim_ratio
@@ -647,7 +670,25 @@ class FedMSTrainer:
             )
         return cache[server.server_id]
 
-    def _shared_filtered_model(self, broadcast_cache: Dict[int, np.ndarray]
+    def _record_filter_outcome(self, state: _RoundState,
+                               outcome: FilterOutcome,
+                               sender_ids: Sequence[int]) -> None:
+        """Fold one client's estimating-filter verdict into the round.
+
+        ``estimated_byzantine`` keeps the worst (largest) per-client
+        estimate; ``filtered_model_ids`` accumulates every PS whose model
+        any client rejected.
+        """
+        if outcome.estimated_byzantine is not None:
+            previous = state.estimated_byzantine
+            state.estimated_byzantine = (
+                outcome.estimated_byzantine if previous is None
+                else max(previous, outcome.estimated_byzantine)
+            )
+        for row in outcome.rejected_rows:
+            state.filtered_model_ids.add(int(sender_ids[row]))
+
+    def _shared_filtered_model(self, state: _RoundState
                                ) -> Optional[np.ndarray]:
         """Filter output shared by all clients, when provably identical.
 
@@ -658,12 +699,21 @@ class FedMSTrainer:
         results could differ (inconsistent attacks, lossy networks, or any
         fault injection).
         """
+        broadcast_cache = state.broadcast_cache
         if not self.network.is_lossless \
                 or len(broadcast_cache) != len(self.servers):
             return None
         stack = np.stack([
             broadcast_cache[server.server_id] for server in self.servers
         ])
+        if self._filter_info_fn is not None:
+            # Stack rows follow server-id order, so rejected row i is PS i.
+            outcome = self._filter_info_fn(stack)
+            self._record_filter_outcome(
+                state, outcome,
+                sender_ids=[server.server_id for server in self.servers],
+            )
+            return outcome.vector
         return self.filter_rule(stack)
 
     def _evaluate(self) -> "tuple[float, float]":

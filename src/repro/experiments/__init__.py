@@ -18,6 +18,8 @@ from .perf import (
 from .replication import ReplicatedCurve, ReplicationSummary, replicate
 from .results import Curve, FigureResult
 from .specs import (
+    ADAPTIVE_CROSSOVER_VARIANTS,
+    run_adaptive_crossover,
     run_comm_cost,
     run_convergence_rate,
     run_fault_tolerance,
@@ -48,6 +50,8 @@ __all__ = [
     "run_convergence_rate",
     "run_filter_ablation",
     "run_fault_tolerance",
+    "run_adaptive_crossover",
+    "ADAPTIVE_CROSSOVER_VARIANTS",
     "BENCH_FILENAME",
     "PERF_PROFILES",
     "PerfProfile",

@@ -52,6 +52,8 @@ __all__ = [
     "run_convergence_rate",
     "run_filter_ablation",
     "run_fault_tolerance",
+    "run_adaptive_crossover",
+    "ADAPTIVE_CROSSOVER_VARIANTS",
 ]
 
 #: Dirichlet parameter used by Fig. 2 / Fig. 3 (Section VI-B/C).
@@ -65,7 +67,13 @@ DEFAULT_EPSILON = 0.2
 #: value plays the same role for our substrate's weight scale.
 NOISE_ATTACK_SCALE = 0.05
 
-ATTACK_KWARGS = {"noise": {"scale": NOISE_ATTACK_SCALE}}
+#: Per-attack constructor arguments used by every experiment that builds an
+#: attack by name. The colluding lie is scaled well past the honest spread so
+#: a single surviving colluder visibly drags an under-trimmed mean.
+ATTACK_KWARGS = {
+    "noise": {"scale": NOISE_ATTACK_SCALE},
+    "colluding": {"scale": 3.0},
+}
 
 
 def _curve_from_history(label: str, history: TrainingHistory) -> Curve:
@@ -561,4 +569,135 @@ def run_fault_tolerance(*, loss_rate: float = 0.1, num_crashes: int = 2,
         curves=curves,
         notes="Fed-MS with PS crash/recovery and packet loss on top of "
               "Byzantine PSs",
+    )
+
+
+#: The four Def() variants the adaptive crossover compares at each true B.
+ADAPTIVE_CROSSOVER_VARIANTS = ("static-oracle", "static-under", "adaptive",
+                               "loss_based")
+
+
+def run_adaptive_crossover(*, attack_name: str = "dispersion_mimicry",
+                           byzantine_counts: Optional[Sequence[int]] = None,
+                           with_faults: bool = True,
+                           scale: Optional[BenchScale] = None,
+                           seed: int = 0,
+                           num_rounds: Optional[int] = None) -> FigureResult:
+    """Fig. 3-style crossover: static beta vs adaptive beta vs loss-based.
+
+    For every true Byzantine count ``B`` (default: ``0..floor((P-1)/2)``)
+    four ``Def()`` variants run the same workload under ``attack_name``:
+
+    * **static-oracle** — trimmed mean at the unknowable truth
+      ``beta = B/P`` (the paper's setting, upper bound for trimming);
+    * **static-under** — trimmed mean at ``beta = (B//2)/P``, the
+      under-estimate that colluding/mimicry attacks exploit;
+    * **adaptive** — per-round ``B-hat`` from MAD dispersion scoring;
+    * **loss_based** — FedGreed-style greedy selection on a trusted root
+      batch, which needs no count estimate at all.
+
+    With ``with_faults`` each combination additionally runs with one
+    benign PS crashing permanently a third of the way in, so the rows
+    show how each defense degrades when benign capacity shrinks while
+    the adversary keeps full strength. Rows record the per-round
+    ``B-hat`` trace and which PSs were rejected (the estimating filters'
+    audit trail); curves cover the fault-free runs at the largest ``B``.
+    """
+    scale = scale or current_scale()
+    P = scale.num_servers
+    feasible_max = (P - 1) // 2
+    if byzantine_counts is None:
+        byzantine_counts = tuple(range(feasible_max + 1))
+    for count in byzantine_counts:
+        if not 0 <= count <= feasible_max:
+            raise ConfigurationError(
+                f"true Byzantine count {count} infeasible for P = {P} "
+                f"(need 0 <= B <= {feasible_max})"
+            )
+    workload = FigureWorkload(scale, seed=seed)
+    partitions = workload.partitions(DEFAULT_ALPHA, tag="adaptive")
+    rounds = num_rounds or scale.num_rounds
+    crash_round = min(max(1, rounds // 3), rounds - 1)
+
+    def run(num_byzantine: int, variant: str, faulty: bool):
+        config_kwargs = dict(
+            num_clients=scale.num_clients,
+            num_servers=P,
+            num_byzantine=num_byzantine,
+            local_steps=3,
+            batch_size=scale.batch_size,
+            learning_rate=0.05,
+            eval_clients=2,
+            seed=seed,
+        )
+        if variant == "static-oracle":
+            config_kwargs["trim_ratio"] = num_byzantine / P
+        elif variant == "static-under":
+            config_kwargs["trim_ratio"] = (num_byzantine // 2) / P
+        elif variant == "adaptive":
+            config_kwargs["filter_rule_name"] = "adaptive_trimmed_mean"
+        elif variant == "loss_based":
+            config_kwargs["filter_rule_name"] = "loss_based"
+        else:
+            raise ConfigurationError(f"unknown variant {variant!r}")
+        # Byzantine placement and the crash are disjoint: the adversary
+        # keeps full strength while benign capacity shrinks.
+        injector = None
+        if faulty:
+            injector = FaultInjector(FaultPlan(crashes=(
+                ServerCrash(P - 1, crash_round),
+            )))
+        attack = None
+        if num_byzantine > 0:
+            attack = make_attack(attack_name,
+                                 **ATTACK_KWARGS.get(attack_name, {}))
+        with FedMSTrainer(
+            FedMSConfig(**config_kwargs),
+            model_factory=workload.model_factory(),
+            client_datasets=partitions,
+            test_dataset=workload.test,
+            attack=attack,
+            byzantine_ids=list(range(num_byzantine)) or None,
+            fault_injector=injector,
+        ) as trainer:
+            history = trainer.run(rounds, eval_every=scale.eval_every)
+        return history
+
+    rows: List[Dict[str, object]] = []
+    curves: List[Curve] = []
+    largest = max(byzantine_counts)
+    fault_conditions = (False, True) if with_faults else (False,)
+    for num_byzantine in byzantine_counts:
+        for variant in ADAPTIVE_CROSSOVER_VARIANTS:
+            for faulty in fault_conditions:
+                history = run(num_byzantine, variant, faulty)
+                rows.append({
+                    "true_byzantine": num_byzantine,
+                    "variant": variant,
+                    "faults": faulty,
+                    "final_accuracy": history.final_accuracy,
+                    "mean_estimated_byzantine":
+                        history.mean_estimated_byzantine,
+                    "estimated_byzantine_trace":
+                        history.estimated_byzantine_trace,
+                    "filtered_model_id_counts":
+                        history.filtered_model_id_counts,
+                    "degraded_rounds": len(history.degraded_rounds),
+                })
+                if num_byzantine == largest and not faulty:
+                    curves.append(_curve_from_history(variant, history))
+    return FigureResult(
+        figure_id="ext_adaptive_crossover",
+        params={
+            "attack": attack_name,
+            "byzantine_counts": list(byzantine_counts),
+            "with_faults": with_faults,
+            "scale": scale.name,
+            "data_source": workload.source,
+        },
+        rows=rows,
+        curves=curves,
+        notes="static-oracle trims at the true B/P; static-under at "
+              "(B//2)/P; adaptive estimates B-hat per round; loss_based "
+              "greedily selects by trusted-batch loss.",
     )

@@ -295,7 +295,10 @@ class TestRegistry:
 
         stack = np.random.default_rng(0).normal(size=(12, 3))
         for name in available_rules():
-            rule = make_rule(name, trim_ratio=0.2, num_byzantine=2)
+            # loss_based is the one rule that cannot run without an
+            # external loss oracle; give it a trivial one.
+            rule = make_rule(name, trim_ratio=0.2, num_byzantine=2,
+                             loss_fn=lambda vector: float(vector[0]))
             assert rule(stack).shape == (3,)
 
     def test_unknown_name(self):
@@ -310,3 +313,268 @@ class TestRegistry:
         stack = np.array([[1.0], [2.0], [3.0], [4.0], [5.0]])
         rule = make_rule("trimmed_mean", trim_ratio=0.2)
         assert rule(stack)[0] == pytest.approx(3.0)
+
+
+class TestGeometricMedianConvergence:
+    def test_non_convergence_raises(self):
+        from repro.common import ConvergenceError
+
+        stack = np.random.default_rng(0).normal(size=(10, 5))
+        with pytest.raises(ConvergenceError):
+            geometric_median(stack, max_iterations=1)
+
+    def test_repeated_point_optimum(self):
+        """Weiszfeld's hard case: the optimum IS a repeated data point."""
+        stack = np.array([
+            [0.0, 0.0], [0.0, 0.0], [0.0, 0.0],
+            [10.0, 0.0], [0.0, 10.0],
+        ])
+        result = geometric_median(stack)
+        assert np.linalg.norm(result) < 1e-3
+
+    def test_all_rows_identical(self):
+        stack = np.tile(np.array([2.0, -3.0, 1.0]), (6, 1))
+        np.testing.assert_allclose(geometric_median(stack),
+                                   [2.0, -3.0, 1.0], atol=1e-6)
+
+    def test_two_point_tie(self):
+        """With two rows every point between them is optimal; the smoothed
+        iteration must still settle somewhere on the segment."""
+        stack = np.array([[0.0, 0.0], [1.0, 0.0]])
+        result = geometric_median(stack)
+        assert -1e-6 <= result[0] <= 1.0 + 1e-6
+        assert abs(result[1]) < 1e-6
+
+
+class TestMadOutlierScores:
+    def test_clean_stack_scores_low(self):
+        from repro.aggregation import mad_outlier_scores
+
+        stack = np.random.default_rng(0).normal(size=(11, 20))
+        assert np.all(mad_outlier_scores(stack) < 3.5)
+
+    def test_planted_outlier_scores_high(self):
+        from repro.aggregation import mad_outlier_scores
+
+        stack = np.random.default_rng(1).normal(size=(11, 20))
+        stack[4] += 100.0
+        scores = mad_outlier_scores(stack)
+        assert scores[4] > 3.5
+        assert np.argmax(scores) == 4
+
+    def test_identical_rows_score_zero(self):
+        from repro.aggregation import mad_outlier_scores
+
+        stack = np.tile(np.arange(5.0), (7, 1))
+        np.testing.assert_array_equal(mad_outlier_scores(stack),
+                                      np.zeros(7))
+
+    def test_degenerate_mad_still_flags_planted_row(self):
+        from repro.aggregation import mad_outlier_scores
+
+        # 6 of 7 rows coincide -> distance MAD is zero, but the planted
+        # row must still be scorable (MAD floored at a relative epsilon).
+        stack = np.zeros((7, 4))
+        stack[6] = 50.0
+        scores = mad_outlier_scores(stack)
+        assert scores[6] > 3.5
+        assert np.all(scores[:6] <= 0.0)
+
+    def test_degenerate_mad_flags_colluding_pair(self):
+        from repro.aggregation import mad_outlier_scores
+
+        # The colluding-attack shape under full broadcast: 5 honest rows
+        # bit-identical, 2 colluders bit-identical somewhere else. The
+        # pair must not dilute its own outlier score.
+        stack = np.zeros((7, 4))
+        stack[0] = 10.0
+        stack[1] = 10.0
+        scores = mad_outlier_scores(stack)
+        assert scores[0] > 3.5
+        assert scores[1] > 3.5
+        assert np.all(scores[2:] <= 0.0)
+
+
+class TestAdaptiveTrimmedMean:
+    def test_estimates_planted_count(self):
+        from repro.aggregation import estimate_byzantine_count
+
+        rng = np.random.default_rng(2)
+        stack = rng.normal(size=(10, 30))
+        stack[1] += 40.0
+        stack[7] -= 40.0
+        assert estimate_byzantine_count(stack) == 2
+
+    def test_zero_estimate_on_clean_stack(self):
+        from repro.aggregation import (adaptive_trimmed_mean,
+                                       estimate_byzantine_count, mean)
+
+        stack = np.random.default_rng(3).normal(size=(9, 12))
+        assert estimate_byzantine_count(stack) == 0
+        np.testing.assert_allclose(adaptive_trimmed_mean(stack),
+                                   mean(stack))
+
+    def test_info_reports_flagged_rows(self):
+        from repro.aggregation import adaptive_trimmed_mean_info
+
+        stack = np.random.default_rng(4).normal(size=(8, 16))
+        stack[0] += 60.0
+        stack[5] += 55.0
+        vector, b_hat, flagged = adaptive_trimmed_mean_info(stack)
+        assert b_hat == 2
+        assert flagged == (0, 5)
+        assert vector.shape == (16,)
+
+    def test_estimate_clamped_to_feasible_trim(self):
+        from repro.aggregation import adaptive_trimmed_mean_info
+
+        # 4 of 5 rows are wild -> naive count would trim everything; the
+        # estimate must stay at floor((n-1)/2) = 2 so a survivor remains.
+        stack = np.zeros((5, 3))
+        for i, magnitude in zip(range(1, 5), (100.0, 200.0, 300.0, 400.0)):
+            stack[i] = magnitude
+        _, b_hat, flagged = adaptive_trimmed_mean_info(stack)
+        assert b_hat <= 2
+        assert len(flagged) == b_hat
+
+    def test_matches_static_oracle_on_planted_attack(self):
+        from repro.aggregation import adaptive_trimmed_mean
+
+        rng = np.random.default_rng(5)
+        stack = rng.normal(size=(10, 25))
+        stack[2] += 80.0
+        stack[8] += 80.0
+        np.testing.assert_allclose(adaptive_trimmed_mean(stack),
+                                   trimmed_mean_by_count(stack, 2))
+
+    def test_deterministic(self):
+        from repro.aggregation import adaptive_trimmed_mean_info
+
+        stack = np.random.default_rng(6).normal(size=(7, 9))
+        stack[3] += 30.0
+        first = adaptive_trimmed_mean_info(stack)
+        second = adaptive_trimmed_mean_info(stack.copy())
+        np.testing.assert_array_equal(first[0], second[0])
+        assert first[1:] == second[1:]
+
+    def test_rejects_bad_threshold(self):
+        from repro.aggregation import adaptive_trimmed_mean
+
+        with pytest.raises(ConfigurationError):
+            adaptive_trimmed_mean(np.zeros((3, 2)), threshold=0.0)
+
+
+class TestLossBasedSelection:
+    @staticmethod
+    def target_loss(target):
+        return lambda vector: float(np.linalg.norm(vector - target))
+
+    def test_rejects_poisoned_cohort(self):
+        from repro.aggregation import loss_based_selection_info
+
+        target = np.zeros(6)
+        rng = np.random.default_rng(7)
+        stack = rng.normal(scale=0.1, size=(7, 6))
+        stack[4] = 100.0
+        stack[5] = 100.0
+        stack[6] = 100.0
+        vector, selected = loss_based_selection_info(
+            stack, self.target_loss(target)
+        )
+        assert set(selected) <= {0, 1, 2, 3}
+        assert np.linalg.norm(vector) < 1.0
+
+    def test_accepts_all_honest_models(self):
+        from repro.aggregation import loss_based_selection_info
+
+        target = np.ones(4)
+        stack = np.stack([
+            target + 0.01, target - 0.01, target + 0.005, target - 0.005,
+        ])
+        _, selected = loss_based_selection_info(
+            stack, self.target_loss(target)
+        )
+        assert len(selected) >= 2
+
+    def test_single_row_is_returned(self):
+        from repro.aggregation import loss_based_selection
+
+        stack = np.array([[3.0, 4.0]])
+        np.testing.assert_array_equal(
+            loss_based_selection(stack, lambda v: 0.0), [3.0, 4.0]
+        )
+
+    def test_non_finite_losses_sort_last(self):
+        from repro.aggregation import loss_based_selection_info
+
+        stack = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+
+        def loss(vector):
+            if vector[0] > 1.5:
+                return float("nan")
+            return float(np.abs(vector).sum())
+
+        _, selected = loss_based_selection_info(stack, loss)
+        assert 2 not in selected
+
+    def test_deterministic_on_ties(self):
+        from repro.aggregation import loss_based_selection_info
+
+        stack = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        runs = [loss_based_selection_info(stack, lambda v: 1.0)
+                for _ in range(2)]
+        np.testing.assert_array_equal(runs[0][0], runs[1][0])
+        assert runs[0][1] == runs[1][1]
+
+
+class TestValidateRuleParams:
+    def test_unknown_rule(self):
+        from repro.aggregation import validate_rule_params
+
+        with pytest.raises(ConfigurationError, match="unknown aggregation"):
+            validate_rule_params("nope")
+
+    def test_trim_ratio_bounds(self):
+        from repro.aggregation import validate_rule_params
+
+        with pytest.raises(ConfigurationError, match="trim_ratio"):
+            validate_rule_params("trimmed_mean", trim_ratio=0.5)
+        with pytest.raises(ConfigurationError, match="trim_ratio"):
+            validate_rule_params("trimmed_mean", trim_ratio=-0.1)
+
+    def test_krum_needs_enough_models(self):
+        from repro.aggregation import validate_rule_params
+
+        with pytest.raises(ConfigurationError, match="2 \\* 2 \\+ 3|n >= 7"):
+            validate_rule_params("krum", num_byzantine=2, num_models=6)
+        validate_rule_params("krum", num_byzantine=2, num_models=7)
+
+    def test_bulyan_needs_4f_plus_3(self):
+        from repro.aggregation import validate_rule_params
+
+        with pytest.raises(ConfigurationError, match="n >= 7"):
+            validate_rule_params("bulyan", num_byzantine=1, num_models=6)
+        validate_rule_params("bulyan", num_byzantine=1, num_models=7)
+
+    def test_loss_based_requires_loss_fn(self):
+        from repro.aggregation import make_rule, validate_rule_params
+
+        with pytest.raises(ConfigurationError, match="loss_fn"):
+            validate_rule_params("loss_based")
+        with pytest.raises(ConfigurationError, match="loss_fn"):
+            make_rule("loss_based")
+
+    def test_mad_threshold_must_be_positive(self):
+        from repro.aggregation import validate_rule_params
+
+        with pytest.raises(ConfigurationError, match="mad_threshold"):
+            validate_rule_params("adaptive_trimmed_mean", mad_threshold=-1.0)
+
+    def test_num_models_must_be_positive(self):
+        from repro.aggregation import validate_rule_params
+
+        with pytest.raises(ConfigurationError, match="num_models"):
+            validate_rule_params("trimmed_mean", trim_ratio=0.2,
+                                 num_models=0)
+        # Any ratio below 0.5 leaves a survivor, whatever the stack size.
+        validate_rule_params("trimmed_mean", trim_ratio=0.4, num_models=2)

@@ -10,6 +10,8 @@ from repro.attacks import (
     Attack,
     AttackContext,
     BackwardAttack,
+    ColludingAttack,
+    DispersionMimicryAttack,
     IdentityAttack,
     InconsistentAttack,
     NoiseAttack,
@@ -191,6 +193,109 @@ class TestAdaptiveTrimmedMeanAttack:
     def test_rejects_bad_z(self):
         with pytest.raises(ConfigurationError):
             AdaptiveTrimmedMeanAttack(z_max=0.0)
+
+
+class TestColludingAttack:
+    def test_identical_across_colluding_servers(self):
+        """All colluders emit one bit-identical lie, whatever their rng."""
+        aggregates = np.random.default_rng(1).normal(size=(5, 20))
+        attack = ColludingAttack()
+        results = []
+        for server_seed in (11, 22):
+            context = AttackContext(
+                round_index=3,
+                server_id=server_seed,
+                true_aggregate=aggregates[0],
+                previous_aggregates=[],
+                rng=RngFactory(server_seed).make("attack"),
+                all_server_aggregates=aggregates,
+            )
+            results.append(attack.tamper(context))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_direction_varies_across_rounds(self):
+        aggregates = np.zeros((4, 10))
+        attack = ColludingAttack()
+        a = attack.tamper(make_context(all_aggregates=aggregates,
+                                       round_index=1))
+        b = attack.tamper(make_context(all_aggregates=aggregates,
+                                       round_index=2))
+        assert not np.array_equal(a, b)
+
+    def test_pushes_off_the_benign_mean(self):
+        aggregates = np.random.default_rng(2).normal(size=(6, 30))
+        result = ColludingAttack(scale=5.0).tamper(
+            make_context(all_aggregates=aggregates)
+        )
+        assert np.linalg.norm(result - aggregates.mean(axis=0)) > 1.0
+
+    def test_fallback_without_knowledge(self):
+        context = make_context(aggregate=np.ones(4))
+        result = ColludingAttack().tamper(context)
+        assert result.shape == (4,)
+        assert not np.array_equal(result, context.true_aggregate)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            ColludingAttack(scale=0.0)
+
+
+class TestDispersionMimicryAttack:
+    def test_honest_without_knowledge(self):
+        context = make_context()
+        result = DispersionMimicryAttack().tamper(context)
+        np.testing.assert_array_equal(result, context.true_aggregate)
+        assert result is not context.true_aggregate
+
+    def test_honest_below_three_models(self):
+        context = make_context(all_aggregates=np.ones((2, 3)))
+        result = DispersionMimicryAttack().tamper(context)
+        np.testing.assert_array_equal(result, context.true_aggregate)
+
+    def test_identical_across_colluding_servers(self):
+        aggregates = np.random.default_rng(3).normal(size=(5, 20))
+        attack = DispersionMimicryAttack()
+        results = [
+            attack.tamper(make_context(all_aggregates=aggregates))
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_distance_is_envelope_times_worst_honest(self):
+        aggregates = np.random.default_rng(4).normal(size=(7, 40))
+        envelope = 2.5
+        result = DispersionMimicryAttack(envelope=envelope).tamper(
+            make_context(all_aggregates=aggregates)
+        )
+        center = np.median(aggregates, axis=0)
+        honest_max = np.sqrt(
+            ((aggregates - center) ** 2).sum(axis=1)
+        ).max()
+        np.testing.assert_allclose(
+            np.linalg.norm(result - center), envelope * honest_max
+        )
+
+    def test_sign_pattern_fixed_across_rounds(self):
+        """The per-coordinate bias direction must compound, not cancel."""
+        aggregates = np.random.default_rng(5).normal(size=(5, 30))
+        attack = DispersionMimicryAttack()
+        center = np.median(aggregates, axis=0)
+        a = attack.tamper(make_context(all_aggregates=aggregates,
+                                       round_index=1)) - center
+        b = attack.tamper(make_context(all_aggregates=aggregates,
+                                       round_index=9)) - center
+        np.testing.assert_array_equal(np.sign(a), np.sign(b))
+
+    def test_degenerate_spread_copies_center(self):
+        aggregates = np.tile(np.arange(4.0), (5, 1))
+        result = DispersionMimicryAttack().tamper(
+            make_context(all_aggregates=aggregates)
+        )
+        np.testing.assert_array_equal(result, np.arange(4.0))
+
+    def test_rejects_bad_envelope(self):
+        with pytest.raises(ConfigurationError):
+            DispersionMimicryAttack(envelope=0.0)
 
 
 class TestRegistry:

@@ -59,3 +59,41 @@ class TestTrainingHistory:
         history.append(record(0, loss=2.0))
         history.append(record(1, loss=1.0))
         assert history.train_losses == [2.0, 1.0]
+
+
+class TestEstimatingFilterFields:
+    def make_history(self):
+        history = TrainingHistory()
+        history.append(RoundRecord(round_index=0, train_loss=1.0,
+                                   estimated_byzantine=2,
+                                   filtered_model_ids=[0, 3]))
+        history.append(RoundRecord(round_index=1, train_loss=0.9,
+                                   estimated_byzantine=1,
+                                   filtered_model_ids=[3]))
+        history.append(RoundRecord(round_index=2, train_loss=0.8))
+        return history
+
+    def test_defaults_are_empty(self):
+        record = RoundRecord(round_index=0, train_loss=1.0)
+        assert record.estimated_byzantine is None
+        assert record.filtered_model_ids == []
+
+    def test_trace_preserves_gaps(self):
+        assert self.make_history().estimated_byzantine_trace == [2, 1, None]
+
+    def test_mean_skips_missing_estimates(self):
+        assert self.make_history().mean_estimated_byzantine == 1.5
+
+    def test_mean_none_when_nothing_estimated(self):
+        history = TrainingHistory()
+        history.append(RoundRecord(round_index=0, train_loss=1.0))
+        assert history.mean_estimated_byzantine is None
+
+    def test_filtered_model_id_counts(self):
+        assert self.make_history().filtered_model_id_counts == {0: 1, 3: 2}
+
+    def test_to_dict_includes_robustness_fields(self):
+        summary = self.make_history().to_dict()
+        assert summary["estimated_byzantine_trace"] == [2, 1, None]
+        assert summary["mean_estimated_byzantine"] == 1.5
+        assert summary["filtered_model_id_counts"] == {0: 1, 3: 2}

@@ -38,7 +38,8 @@ def make_blobs(n=300, num_classes=3, dim=6, seed=0):
 
 def make_trainer(num_clients=8, num_servers=10, num_byzantine=2,
                  attack=None, byzantine_ids=None, seed=0, network=None,
-                 fault_injector=None, faults=None, lr=0.2):
+                 fault_injector=None, faults=None, lr=0.2,
+                 **config_kwargs):
     data = make_blobs(seed=seed)
     test = make_blobs(n=120, seed=seed + 1)
     parts = iid_partition(data, num_clients, rng=RngFactory(seed).make("part"))
@@ -52,6 +53,7 @@ def make_trainer(num_clients=8, num_servers=10, num_byzantine=2,
         eval_clients=2,
         faults=faults,
         seed=seed,
+        **config_kwargs,
     )
     return FedMSTrainer(
         config,
@@ -295,5 +297,38 @@ class TestAcceptanceScenario:
         assert (9, "server 8 recovered") in injector.event_log
 
         # Training still converges to within tolerance of fault-free.
+        assert reference.final_accuracy > 0.9
+        assert history.final_accuracy >= reference.final_accuracy - 0.05
+
+    def test_mimicry_attack_with_one_crash_under_adaptive_filter(self):
+        """The colluding dispersion-mimicry attack combined with one PS
+        crash: the adaptive-beta filter must keep estimating and trimming
+        on the reduced quorum and still converge near the fault-free
+        reference."""
+        num_rounds = 12
+        kwargs = dict(num_byzantine=2, num_servers=10,
+                      attack=make_attack("dispersion_mimicry"),
+                      byzantine_ids=[0, 1],
+                      filter_rule_name="adaptive_trimmed_mean")
+        fault_free = make_trainer(**kwargs)
+        reference = fault_free.run(num_rounds)
+
+        injector = FaultInjector(FaultPlan(crashes=(ServerCrash(9, 4),)))
+        trainer = make_trainer(fault_injector=injector, **kwargs)
+        history = trainer.run(num_rounds)
+
+        assert len(history) == num_rounds
+        alive = [r.alive_servers for r in history.records]
+        assert alive == [10] * 4 + [9] * 8
+        # The estimator kept producing per-round B-hat on the reduced
+        # quorum (estimating rules never fall back to a static count).
+        assert all(e is not None for e in history.estimated_byzantine_trace)
+        for record in history.records:
+            assert record.fallback_clients == []
+        # The colluders' shared lie was flagged: both Byzantine PSs show
+        # up among the rejected model ids over the run.
+        rejected = set(history.filtered_model_id_counts)
+        assert {0, 1} <= rejected
+
         assert reference.final_accuracy > 0.9
         assert history.final_accuracy >= reference.final_accuracy - 0.05

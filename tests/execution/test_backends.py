@@ -91,6 +91,8 @@ def history_fingerprint(history):
         [r.models_received for r in history.records],
         [r.degraded_clients for r in history.records],
         [r.fallback_clients for r in history.records],
+        [r.estimated_byzantine for r in history.records],
+        [r.filtered_model_ids for r in history.records],
     )
 
 
@@ -122,6 +124,41 @@ class TestBitIdentity:
         first, _ = run_history("serial")
         second, _ = run_history("serial")
         assert history_fingerprint(first) == history_fingerprint(second)
+
+    def test_adaptive_trimmed_mean_bit_identical(self):
+        # The estimating rules run in the main process, but their inputs
+        # come from backend-trained clients: the whole loop (including the
+        # recorded B-hat trace) must still agree bit for bit.
+        fingerprints = {}
+        for backend in BACKENDS:
+            history, _ = run_history(
+                backend, filter_rule_name="adaptive_trimmed_mean"
+            )
+            fingerprints[backend] = history_fingerprint(history)
+        assert fingerprints["serial"] == fingerprints["thread"]
+        assert fingerprints["serial"] == fingerprints["process"]
+
+    def test_adaptive_bit_identical_under_ps_crash(self):
+        plan = FaultPlan(crashes=(ServerCrash(4, 1),))
+        fingerprints = {}
+        for backend in BACKENDS:
+            history, _ = run_history(
+                backend, num_rounds=3,
+                filter_rule_name="adaptive_trimmed_mean",
+                fault_injector=FaultInjector(plan),
+            )
+            fingerprints[backend] = history_fingerprint(history)
+        assert fingerprints["serial"] == fingerprints["thread"]
+        assert fingerprints["serial"] == fingerprints["process"]
+
+    def test_loss_based_bit_identical(self):
+        fingerprints = {}
+        for backend in BACKENDS:
+            history, _ = run_history(backend,
+                                     filter_rule_name="loss_based")
+            fingerprints[backend] = history_fingerprint(history)
+        assert fingerprints["serial"] == fingerprints["thread"]
+        assert fingerprints["serial"] == fingerprints["process"]
 
 
 class TestWorkerCrash:
