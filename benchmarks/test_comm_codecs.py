@@ -1,0 +1,56 @@
+"""Codec x attack x filter sweep: compression without losing resilience.
+
+The claim under test is two-sided (Tao et al., arXiv:2303.10434):
+upload codecs must cut offered bytes by an order of magnitude *and* leave
+the adaptive-beta trimmed mean effective against the Noise and colluding
+attacks. ``topk(0.05)+int8`` is the acceptance chain — at least 10x fewer
+offered bytes per round than the identity run, with final accuracy within
+two points of it (the smoke scale's 8-round horizon amplifies the
+compression warm-up lag, so its accuracy margin is wider; the byte ratio
+is scale-invariant).
+"""
+
+from _harness import record_result
+from repro.experiments import current_scale, run_comm_codecs
+
+MIN_COMPRESSION = 10.0
+
+
+def accuracy_margin() -> float:
+    return 0.12 if current_scale().name == "smoke" else 0.02
+
+
+def test_comm_codecs_compress_without_losing_accuracy(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_comm_codecs(), rounds=1, iterations=1
+    )
+    record_result(result)
+    margin = accuracy_margin()
+
+    by_key = {(row["attack"], row["codec"]): row for row in result.rows}
+    attacks = {row["attack"] for row in result.rows}
+    assert attacks == {"noise", "colluding"}
+
+    for attack in sorted(attacks):
+        identity = by_key[(attack, "identity")]
+        assert identity["compression_ratio"] == 1.0
+
+        target = by_key[(attack, "topk+int8")]
+        assert target["compression_ratio"] >= MIN_COMPRESSION, (
+            f"{attack}: topk+int8 reached only "
+            f"{target['compression_ratio']:.1f}x compression "
+            f"(acceptance: >= {MIN_COMPRESSION}x)"
+        )
+        assert target["accuracy_delta"] >= -margin, (
+            f"{attack}: topk+int8 lost {-target['accuracy_delta']:.3f} "
+            f"accuracy vs identity (margin: {margin})"
+        )
+
+        # Every compressed chain must clear the byte bar; the 1-bit sign
+        # chain trades more accuracy, so it only gets the sanity checks.
+        for codec in ("topk+int8", "topk+sign"):
+            row = by_key[(attack, codec)]
+            assert row["compression_ratio"] >= MIN_COMPRESSION
+            assert row["offered_bytes_per_round"] < \
+                identity["offered_bytes_per_round"]
+            assert row["final_accuracy"] > 0.1  # above random guessing

@@ -68,3 +68,20 @@ def test_process_pool_throughput_at_k64(report):
         f"{row['speedup_vs_serial']:.2f}x of serial "
         f"(gate: {MIN_RATIO}x)"
     )
+
+
+def test_codec_bytes_per_round_gate(report):
+    # CI byte gate: the default codec chain at the largest client count
+    # must put at most 0.2x the identity bytes on the wire per round,
+    # and the recorded compression ratio must agree with the two rows.
+    codec = report["codec"]
+    assert codec["codecs"] == ["topk(0.05)", "int8"]
+    assert codec["bytes_per_round"] > 0
+    assert codec["bytes_per_round"] <= 0.2 * codec["identity_bytes_per_round"], (
+        f"codec chain sent {codec['bytes_per_round']:.0f} B/round vs "
+        f"{codec['identity_bytes_per_round']:.0f} identity "
+        f"(gate: 0.2x)"
+    )
+    assert codec["compression_ratio"] == pytest.approx(
+        codec["identity_bytes_per_round"] / codec["bytes_per_round"]
+    )

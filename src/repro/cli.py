@@ -28,7 +28,11 @@ import sys
 from typing import List, Optional
 
 from .attacks import PAPER_ATTACKS, available_attacks
-from .core.config import EXECUTION_BACKEND_ENV, NUM_WORKERS_ENV
+from .core.config import (
+    EXECUTION_BACKEND_ENV,
+    NUM_WORKERS_ENV,
+    UPLOAD_CODECS_ENV,
+)
 from .execution import EXECUTION_BACKENDS
 from .experiments import (
     PERF_PROFILES,
@@ -38,6 +42,7 @@ from .experiments import (
     format_figure,
     format_report,
     run_adaptive_crossover,
+    run_comm_codecs,
     run_comm_cost,
     run_convergence_rate,
     run_fault_tolerance,
@@ -68,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int,
                         help="worker-pool size for thread/process backends "
                              "(0 = one per core; default: REPRO_NUM_WORKERS)")
+    parser.add_argument("--codec", action="append", dest="codecs",
+                        metavar="SPEC",
+                        help="upload codec stage, e.g. 'topk(0.05)' or "
+                             "'int8'; repeat to chain stages in order "
+                             "(default: REPRO_UPLOAD_CODECS or none)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     fig2 = commands.add_parser(
@@ -85,7 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "fig5", help="impact of data heterogeneity (Fig. 5)")
     fig5.add_argument("--alpha", type=float, default=10.0)
 
-    commands.add_parser("comm", help="sparse vs full upload cost (Sec. IV-A)")
+    comm = commands.add_parser(
+        "comm", help="sparse vs full upload cost (Sec. IV-A) plus the "
+                     "codec x attack x filter compression sweep")
+    comm.add_argument("--skip-codecs", action="store_true",
+                      help="only run the sparse-vs-full message accounting, "
+                           "not the codec sweep")
 
     convergence = commands.add_parser(
         "convergence", help="Theorem 1 rate on a convex problem")
@@ -158,6 +173,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ[EXECUTION_BACKEND_ENV] = args.backend
     if args.workers is not None:
         os.environ[NUM_WORKERS_ENV] = str(args.workers)
+    if args.codecs:
+        os.environ[UPLOAD_CODECS_ENV] = ",".join(args.codecs)
 
     if args.command == "perf":
         report = run_round_loop_perf(args.profile,
@@ -177,6 +194,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit(run_fig5_alpha_panel(args.alpha, scale=scale, seed=seed))
     elif args.command == "comm":
         _emit(run_comm_cost(scale=scale, seed=seed))
+        if not args.skip_codecs:
+            _emit(run_comm_codecs(scale=scale, seed=seed))
     elif args.command == "convergence":
         _emit(run_convergence_rate(num_rounds=args.rounds,
                                    num_byzantine=args.byzantine, seed=seed))

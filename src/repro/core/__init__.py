@@ -1,6 +1,19 @@
 """The Fed-MS algorithm: clients, parameter servers, training loop."""
 
 from .client import Client
+from .codecs import (
+    Codec,
+    CodecPipeline,
+    CyclicSparsifier,
+    EncodedUpdate,
+    Int8Quantizer,
+    SignQuantizer,
+    TopKSparsifier,
+    available_codecs,
+    broadcast_variant,
+    make_codec,
+    make_codec_pipeline,
+)
 from .config import FaultConfig, FedMSConfig
 from .filtering import (
     FilterOutcome,
@@ -25,6 +38,17 @@ __all__ = [
     "FedMSConfig",
     "FaultConfig",
     "RetryPolicy",
+    "Codec",
+    "CodecPipeline",
+    "EncodedUpdate",
+    "TopKSparsifier",
+    "CyclicSparsifier",
+    "SignQuantizer",
+    "Int8Quantizer",
+    "available_codecs",
+    "broadcast_variant",
+    "make_codec",
+    "make_codec_pipeline",
     "Client",
     "ParameterServer",
     "ByzantineParameterServer",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..aggregation.registry import validate_rule_params
 from ..common.errors import ConfigurationError
@@ -21,14 +21,19 @@ from ..common.validation import (
     check_positive_int,
     require,
 )
+from .codecs import make_codec_pipeline
+from .upload import make_upload_strategy
 
 __all__ = ["FaultConfig", "FedMSConfig", "EXECUTION_BACKEND_ENV",
-           "NUM_WORKERS_ENV"]
+           "NUM_WORKERS_ENV", "UPLOAD_CODECS_ENV"]
 
 #: Environment override for ``FedMSConfig.execution_backend`` (CLI --backend).
 EXECUTION_BACKEND_ENV = "REPRO_EXECUTION_BACKEND"
 #: Environment override for ``FedMSConfig.num_workers`` (CLI --workers).
 NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+#: Environment override for ``FedMSConfig.upload_codecs`` (CLI --codec),
+#: a comma-separated chain, e.g. ``"topk(0.05),int8"``.
+UPLOAD_CODECS_ENV = "REPRO_UPLOAD_CODECS"
 
 # Mirrors repro.execution.EXECUTION_BACKENDS; kept literal here because the
 # execution package imports repro.core (a module-level import the other way
@@ -121,6 +126,16 @@ class FedMSConfig:
     uploads_per_client:
         Only for ``upload_strategy="multi"``: how many distinct PSs each
         client uploads to.
+    upload_codecs:
+        Codec chain applied to every model transfer (upload, retry and
+        dissemination legs), as spec strings — e.g.
+        ``["topk(0.05)", "int8"]`` for 5% top-k sparsification of the
+        update delta followed by int8 quantization of the surviving
+        values. ``None`` (default) defers to the ``REPRO_UPLOAD_CODECS``
+        environment variable (comma-separated), then to the identity
+        (dense float64) encoding. Parameter servers decode before the
+        ``Def()`` filter runs, so every filter rule operates on dense
+        updates — see ``docs/upload.md``.
     include_buffers:
         Whether batch-norm running statistics travel with the model vector.
     participation_fraction:
@@ -165,6 +180,7 @@ class FedMSConfig:
     root_batch_size: int = 64
     upload_strategy: str = "sparse"
     uploads_per_client: int = 1
+    upload_codecs: Optional[Sequence[str]] = None
     include_buffers: bool = True
     participation_fraction: float = 1.0
     eval_clients: int = 3
@@ -193,6 +209,16 @@ class FedMSConfig:
         require(self.uploads_per_client <= self.num_servers,
                 f"uploads_per_client={self.uploads_per_client} exceeds "
                 f"num_servers={self.num_servers}")
+        # Eager: constructing the strategy here surfaces any remaining
+        # strategy-level error at config time (the trainer builds its own
+        # instance from this config later).
+        make_upload_strategy(self)
+        if self.upload_codecs is not None:
+            self.upload_codecs = tuple(self.upload_codecs)
+            # Eager, like filter_rule_name: a bad chain (unknown codec,
+            # terminal codec mid-chain, out-of-range ratio) fails here,
+            # not rounds into a run.
+            make_codec_pipeline(self.upload_codecs)
         require(0.0 < self.participation_fraction <= 1.0,
                 f"participation_fraction must be in (0, 1], got "
                 f"{self.participation_fraction}")
@@ -264,6 +290,21 @@ class FedMSConfig:
             ) from None
         check_nonnegative_int(workers, NUM_WORKERS_ENV)
         return workers
+
+    @property
+    def resolved_upload_codecs(self) -> "tuple":
+        """The codec chain in effect: explicit field, then the
+        ``REPRO_UPLOAD_CODECS`` environment variable, then none (identity).
+        Environment-supplied chains are validated here, eagerly."""
+        if self.upload_codecs is not None:
+            return tuple(self.upload_codecs)
+        raw = os.environ.get(UPLOAD_CODECS_ENV)
+        if not raw:
+            return ()
+        specs = tuple(piece.strip() for piece in raw.split(",")
+                      if piece.strip())
+        make_codec_pipeline(specs)
+        return specs
 
     @property
     def participants_per_round(self) -> int:

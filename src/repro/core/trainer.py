@@ -43,6 +43,12 @@ from ..simulation.faults import FaultInjector
 from ..simulation.network import Message, Network, NodeId
 from ..simulation.scheduler import RoundScheduler
 from .client import Client
+from .codecs import (
+    CodecPipeline,
+    EncodedUpdate,
+    broadcast_variant,
+    make_codec_pipeline,
+)
 from .config import FedMSConfig
 from .filtering import FilterOutcome, resolve_filter
 from .history import RoundRecord, TrainingHistory
@@ -65,6 +71,15 @@ class _RoundState:
     train_loss: float = float("nan")
     all_aggregates: Optional[np.ndarray] = None
     broadcast_cache: Dict[int, np.ndarray] = field(default_factory=dict)
+    # With codecs active: the wire payload per broadcasting PS (the cache
+    # above then holds its *decoded* round-trip, which is what clients see),
+    # the decode memo for in-process payload -> dense lookups, and the
+    # shared reference this round's payloads were encoded against (workers
+    # decode with it; the live reference advances at the end of the filter
+    # phase).
+    broadcast_payloads: Dict[int, object] = field(default_factory=dict)
+    decoded_payloads: Dict[int, "tuple"] = field(default_factory=dict)
+    filter_references: Optional[np.ndarray] = None
     fault_events: List[str] = field(default_factory=list)
     alive_server_ids: List[int] = field(default_factory=list)
     upload_retries: int = 0
@@ -173,9 +188,7 @@ class FedMSTrainer:
         self.test_dataset = test_dataset
         self.network = network if network is not None else Network()
         self.rngs = RngFactory(config.seed)
-        self.upload_strategy: UploadStrategy = make_upload_strategy(
-            config.upload_strategy, uploads_per_client=config.uploads_per_client
-        )
+        self.upload_strategy: UploadStrategy = make_upload_strategy(config)
         # Def() in every form the round loop needs: the plain closure, a
         # picklable FilterSpec when the backends can fan it out, the beta
         # for degraded-quorum trim-count recomputation (static trimmed
@@ -207,17 +220,47 @@ class FedMSTrainer:
                 fault_injector.round_deadline_s = \
                     self.fault_config.round_deadline_s
             self.network.add_drop_rule(fault_injector.should_drop)
-        self.retry_policy = RetryPolicy(
-            max_retries=self.fault_config.max_upload_retries,
-            base_backoff_s=self.fault_config.retry_backoff_s,
-            backoff_factor=self.fault_config.backoff_factor,
-        )
+        self.retry_policy = RetryPolicy.from_config(config)
 
         # Shared initial model w_0 (Algorithm 1, line 6).
         init_model = model_factory(self.rngs.make("init/global"))
         initial_vector = to_vector(init_model,
                                    include_buffers=config.include_buffers)
         self._initial_vector = initial_vector
+
+        # Upload codec pipeline. Every wire leg carries the *delta* against
+        # one shared reference every honest party knows: the previous
+        # round's consensus filter output (w_0 before the first round).
+        # Upload deltas are then pure local-training progress and decoded
+        # broadcasts agree exactly on every coordinate the codec dropped
+        # (they all decode to the reference there), so the coordinate-wise
+        # trimmed mean is not skewed by per-PS staleness. Attacks tamper
+        # with the pre-encode vector (dissemination encodes the PS's
+        # already-tampered output), so colluders gain nothing from the
+        # codec. See docs/upload.md.
+        self.codec: CodecPipeline = make_codec_pipeline(
+            config.resolved_upload_codecs
+        )
+        # The dissemination leg uses the trim-compatible variant: the
+        # coordinate-wise Def() filters need every honest PS to transmit
+        # the *same* support each round (a per-PS top-k makes each fresh
+        # coordinate a minority outlier the trim removes), so magnitude
+        # supports become the shared round-cycling support.
+        self.broadcast_codec: CodecPipeline = broadcast_variant(self.codec)
+        self._codec_active = not self.codec.is_identity
+        self._reference: Optional[np.ndarray] = (
+            np.array(initial_vector) if self._codec_active else None
+        )
+        # Error feedback (EF-SGD, Stich et al. 2018; Karimireddy et al.
+        # 2019) on both legs: each client folds the part of its last upload
+        # the codec truncated into its next upload delta, and each PS does
+        # the same for its broadcast (the double-compression scheme of Tang
+        # et al. 2019), so lossy compression delays information instead of
+        # destroying it. Anything the *filter* declines only leaves the
+        # reference unchanged — the senders' next deltas still contain it,
+        # an automatic retransmission.
+        self._upload_residuals: Dict[int, np.ndarray] = {}
+        self._broadcast_residuals: Dict[int, np.ndarray] = {}
 
         self.clients: List[Client] = []
         for k in range(config.num_clients):
@@ -254,6 +297,9 @@ class FedMSTrainer:
                 flatten_inputs=flatten_inputs,
                 model_dim=int(initial_vector.size),
                 num_clients=config.num_clients,
+                # Makes the process backend allocate the shared
+                # codec-reference vector workers decode against.
+                codec_references=self._codec_active,
                 model_factory=model_factory,
                 datasets=list(client_datasets),
                 lr_schedule=lr_schedule,
@@ -461,6 +507,79 @@ class FedMSTrainer:
                 [client.last_train_loss for client in participants]
             ))
 
+    # -- codec plumbing ------------------------------------------------------
+
+    def _encode_for_wire(self, vector: np.ndarray, round_index: int,
+                         state: _RoundState, *,
+                         residual_key: Optional[int] = None) -> object:
+        """Dissemination wire payload for ``vector``: the encoded delta
+        against the shared reference (the dense vector itself with no
+        codec). Uses the trim-compatible broadcast pipeline, salted with
+        the round index so every PS transmits the same cyclic support.
+
+        ``residual_key``, when given, applies and advances the sender PS's
+        broadcast error-feedback residual — only the one-per-round
+        broadcast path may use it (a per-client encode would advance the
+        residual once per receiver). Because encode/decode are
+        deterministic, the receiver-side decode is computed once right
+        here and memoized on the round state, so in-process receive paths
+        never decode twice.
+        """
+        if not self._codec_active:
+            return vector
+        assert self._reference is not None
+        delta = vector - self._reference
+        if residual_key is not None:
+            residual = self._broadcast_residuals.get(residual_key)
+            if residual is not None:
+                delta = delta + residual
+        encoded = self.broadcast_codec.encode(delta, salt=round_index)
+        decoded_delta = encoded.decode()
+        if residual_key is not None:
+            self._broadcast_residuals[residual_key] = delta - decoded_delta
+        state.decoded_payloads[id(encoded)] = (
+            encoded, self._reference + decoded_delta
+        )
+        return encoded
+
+    def _encode_upload(self, vector: np.ndarray, client_id: int,
+                       state: _RoundState
+                       ) -> "tuple[object, Optional[np.ndarray]]":
+        """Encode one client upload; returns ``(payload, residual)``.
+
+        The delta against the shared reference is topped up with the
+        client's accumulated error-feedback residual before encoding. The
+        residual produced here (what this encoding truncated) must only be
+        adopted by the caller once the payload actually delivers — a
+        dropped upload communicates nothing, so the old residual stays.
+        """
+        if not self._codec_active:
+            return vector, None
+        assert self._reference is not None
+        delta = vector - self._reference
+        residual = self._upload_residuals.get(client_id)
+        if residual is not None:
+            delta = delta + residual
+        encoded = self.codec.encode(delta)
+        decoded_delta = encoded.decode()
+        state.decoded_payloads[id(encoded)] = (
+            encoded, self._reference + decoded_delta
+        )
+        return encoded, delta - decoded_delta
+
+    def _payload_vector(self, payload: object,
+                        state: _RoundState) -> np.ndarray:
+        """Dense vector a receiver obtains from a wire payload."""
+        if isinstance(payload, EncodedUpdate):
+            entry = state.decoded_payloads.get(id(payload))
+            if entry is None or entry[0] is not payload:
+                raise ProtocolError(
+                    "encoded payload has no recorded decode; it was not "
+                    "produced by this round's _encode_for_wire"
+                )
+            return entry[1]
+        return payload  # type: ignore[return-value]
+
     def _phase_upload(self, t: int) -> None:
         """Stage 2 (client side): sparse upload with bounded retry."""
         state = self._round
@@ -482,12 +601,19 @@ class FedMSTrainer:
 
         The successful send is the only one counted as an upload message
         (the ``O(K)`` accounting); failed attempts are attributed as drops
-        and the retry attempts as ``retries_by_tag["upload"]``.
+        and the retry attempts as ``retries_by_tag["upload"]``. The payload
+        is encoded once — the reference is shared by every PS, so a retry
+        re-sampled onto a different PS resends the same bytes — and dropped
+        attempts are charged at encoded size too. The error-feedback
+        residual advances only when an attempt delivers.
         """
+        payload, residual = self._encode_upload(vector, client_id, state)
         if self.network.send(Message(
-            NodeId.client(client_id), NodeId.server(target), vector,
+            NodeId.client(client_id), NodeId.server(target), payload,
             tag="upload", round_index=t,
         )):
+            if residual is not None:
+                self._upload_residuals[client_id] = residual
             return True
         policy = self.retry_policy
         current = target
@@ -502,15 +628,21 @@ class FedMSTrainer:
                 break
             current = next_target
             if self.network.send(Message(
-                NodeId.client(client_id), NodeId.server(current), vector,
+                NodeId.client(client_id), NodeId.server(current), payload,
                 tag="upload", round_index=t,
             )):
+                if residual is not None:
+                    self._upload_residuals[client_id] = residual
                 return True
         state.upload_failures += 1
         return False
 
     def _phase_aggregate(self, t: int) -> None:
         """Stage 2 (server side): honest aggregation on every alive PS.
+
+        Encoded uploads are decoded *before* aggregation — and therefore
+        before any downstream ``Def()`` filtering — so robust rules always
+        operate on dense updates.
 
         A crashed PS misses the round entirely — it neither drains its
         queue (uploads to it were already lost in transit) nor appends to
@@ -523,7 +655,7 @@ class FedMSTrainer:
         for server in self.servers:
             if server.server_id not in alive:
                 continue
-            uploads = [m.payload for m in
+            uploads = [self._payload_vector(m.payload, state) for m in
                        self.network.receive(NodeId.server(server.server_id))]
             server.aggregate(uploads)
         # The adversary's view (Safeguard/Backward attacks) keeps the full
@@ -550,17 +682,22 @@ class FedMSTrainer:
             for server in self.servers:
                 if server.server_id not in alive:
                     continue
-                model = self._disseminated_model(
-                    server, client.client_id, t, state.all_aggregates,
-                    state.broadcast_cache,
+                payload = self._disseminated_payload(
+                    server, client.client_id, t, state
                 )
                 self.network.send(Message(
                     NodeId.server(server.server_id),
                     NodeId.client(client.client_id),
-                    model,
+                    payload,
                     tag="dissemination",
                     round_index=t,
                 ))
+        if self._codec_active:
+            assert self._reference is not None
+            # Workers decoding this round's filter jobs do so against the
+            # reference the payloads were encoded with; the live reference
+            # advances at the end of the filter phase, after these jobs ran.
+            state.filter_references = self._reference
 
     def _phase_filter(self, t: int) -> None:
         """Stage 3 (client side): the Def() filter, quorum-aware.
@@ -578,7 +715,8 @@ class FedMSTrainer:
         backend_jobs: List[FilterJob] = []
         for client in state.active_clients:
             messages = self.network.receive(NodeId.client(client.client_id))
-            received = [message.payload for message in messages]
+            received = [self._payload_vector(message.payload, state)
+                        for message in messages]
             quorum = len(received)
             state.models_received[client.client_id] = quorum
             if shared_filtered is not None:
@@ -617,21 +755,50 @@ class FedMSTrainer:
                 else:
                     state.degraded_clients.append(client.client_id)
                     backend_jobs.append((
-                        client.client_id, np.stack(received),
+                        client.client_id,
+                        self._filter_job_payload(messages, state),
                         FilterSpec("trim_count", count),
                     ))
             elif self._filter_spec is not None:
                 backend_jobs.append((
-                    client.client_id, np.stack(received), self._filter_spec
+                    client.client_id,
+                    self._filter_job_payload(messages, state),
+                    self._filter_spec,
                 ))
             else:
                 client.filter_received(received, self.filter_rule)
         if backend_jobs:
-            for client_id, vector in \
-                    self.execution.filter_clients(backend_jobs).items():
+            results = self.execution.filter_clients(
+                backend_jobs, references=state.filter_references
+            )
+            for client_id, vector in results.items():
                 client = self.clients[client_id]
                 client.set_model_vector(vector)
                 client.optimizer.reset_state()
+        if self._codec_active:
+            # Advance the shared reference to the consensus the filter just
+            # produced. Client 0's post-filter model is that consensus on
+            # the healthy path (all clients coincide); on degraded rounds
+            # any single choice works — the next deltas carry each party's
+            # offset from it, so nothing is lost, only re-sent.
+            self._reference = np.array(self.clients[0].model_vector())
+
+    def _filter_job_payload(self, messages: Sequence[Message],
+                            state: _RoundState) -> object:
+        """Backend filter-job payload for one client's received models.
+
+        With a codec active the *encoded* updates travel to the workers,
+        which decode them against the shared reference — smaller
+        executor-queue transfers is the point. Otherwise the dense stack
+        is shipped, as before.
+        """
+        if self._codec_active:
+            return [
+                message.payload if isinstance(message.payload, EncodedUpdate)
+                else np.asarray(message.payload)
+                for message in messages
+            ]
+        return np.stack([message.payload for message in messages])
 
     def _fall_back(self, client: Client, state: _RoundState) -> None:
         """Restore ``client``'s previous feasible model.
@@ -646,29 +813,40 @@ class FedMSTrainer:
             client.set_model_vector(start_vector)
             client.optimizer.reset_state()
 
-    def _disseminated_model(self, server: ParameterServer, client_id: int,
-                            round_index: int, all_aggregates: np.ndarray,
-                            cache: Dict[int, np.ndarray]) -> np.ndarray:
-        """Model ``server`` sends to ``client_id``, caching true broadcasts.
+    def _disseminated_payload(self, server: ParameterServer, client_id: int,
+                              round_index: int, state: _RoundState) -> object:
+        """Wire payload ``server`` sends to ``client_id``.
 
         Attacks that are not client-dependent produce one tampered vector
-        per round, so it is computed once and broadcast.
+        per round, so it is computed (and encoded) once and broadcast;
+        ``state.broadcast_cache`` then holds the model *as receivers decode
+        it* — the encode/decode round-trip when a codec is active — which
+        is exactly what the shared-filter fast path must operate on.
         """
         client_dependent = (
             isinstance(server, ByzantineParameterServer)
             and server.attack.is_client_dependent
         )
         if client_dependent:
-            return server.disseminate(
+            model = server.disseminate(
                 round_index=round_index, client_id=client_id,
-                all_server_aggregates=all_aggregates,
+                all_server_aggregates=state.all_aggregates,
             )
-        if server.server_id not in cache:
-            cache[server.server_id] = server.disseminate(
+            # No broadcast residual: a per-receiver encode must not
+            # advance per-round sender state once per client.
+            return self._encode_for_wire(model, round_index, state)
+        server_id = server.server_id
+        if server_id not in state.broadcast_cache:
+            model = server.disseminate(
                 round_index=round_index, client_id=None,
-                all_server_aggregates=all_aggregates,
+                all_server_aggregates=state.all_aggregates,
             )
-        return cache[server.server_id]
+            payload = self._encode_for_wire(model, round_index, state,
+                                            residual_key=server_id)
+            state.broadcast_payloads[server_id] = payload
+            state.broadcast_cache[server_id] = \
+                self._payload_vector(payload, state)
+        return state.broadcast_payloads[server_id]
 
     def _record_filter_outcome(self, state: _RoundState,
                                outcome: FilterOutcome,

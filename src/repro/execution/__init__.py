@@ -26,6 +26,7 @@ from .backend import (
     SerialBackend,
     TrainJob,
     make_backend,
+    materialize_stack,
     resolve_num_workers,
 )
 from .process_pool import ProcessPoolBackend
@@ -40,6 +41,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessPoolBackend",
     "make_backend",
+    "materialize_stack",
     "resolve_num_workers",
     "TrainJob",
     "FilterJob",

@@ -35,6 +35,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "make_backend",
+    "materialize_stack",
     "resolve_num_workers",
 ]
 
@@ -43,8 +44,35 @@ EXECUTION_BACKENDS = ("serial", "thread", "process")
 
 #: ``(client_id, start_vector)`` — one client's local-training input.
 TrainJob = Tuple[int, np.ndarray]
-#: ``(client_id, stack_of_received_models, filter_spec)``.
-FilterJob = Tuple[int, np.ndarray, FilterSpec]
+#: ``(client_id, received_models, filter_spec)``. ``received_models`` is
+#: either a dense ``(q, D)`` stack, or — when upload codecs are active — a
+#: list mixing dense rows and encoded updates; see
+#: :func:`materialize_stack`.
+FilterJob = Tuple[int, object, FilterSpec]
+
+
+def materialize_stack(payload: object,
+                      references: Optional[np.ndarray] = None) -> np.ndarray:
+    """Dense ``(q, D)`` stack from a filter-job payload.
+
+    Encoded entries are self-describing (``encoded.decode()`` needs no
+    codec state — duck-typed here, so this package never imports
+    ``repro.core``) and carry the *delta* against the shared codec
+    reference, which the caller supplies as ``references`` (the process
+    backend reads it from shared memory instead).
+    """
+    if isinstance(payload, np.ndarray):
+        return payload
+    rows: List[np.ndarray] = []
+    for entry in payload:
+        if isinstance(entry, np.ndarray):
+            rows.append(entry)
+            continue
+        row = entry.decode()
+        if references is not None:
+            row = references + row
+        rows.append(row)
+    return np.stack(rows)
 
 
 class ExecutionBackend:
@@ -57,9 +85,14 @@ class ExecutionBackend:
         """Run local training for every job; returns ``{id: (vector, loss)}``."""
         raise NotImplementedError
 
-    def filter_clients(self, jobs: Sequence[FilterJob]
+    def filter_clients(self, jobs: Sequence[FilterJob], *,
+                       references: Optional[np.ndarray] = None
                        ) -> Dict[int, np.ndarray]:
-        """Apply each job's filter spec to its stack; ``{id: filtered}``."""
+        """Apply each job's filter spec to its stack; ``{id: filtered}``.
+
+        ``references`` is the shared ``(D,)`` codec reference vector for
+        decoding encoded job payloads (``None`` when codecs are off).
+        """
         raise NotImplementedError
 
     def close(self) -> None:
@@ -97,9 +130,11 @@ class SerialBackend(ExecutionBackend):
             results[client_id] = (vector, float(client.last_train_loss))
         return results
 
-    def filter_clients(self, jobs: Sequence[FilterJob]
+    def filter_clients(self, jobs: Sequence[FilterJob], *,
+                       references: Optional[np.ndarray] = None
                        ) -> Dict[int, np.ndarray]:
-        return {client_id: spec(stack) for client_id, stack, spec in jobs}
+        return {client_id: spec(materialize_stack(stack, references))
+                for client_id, stack, spec in jobs}
 
 
 def resolve_num_workers(requested: int, *, max_useful: int) -> int:

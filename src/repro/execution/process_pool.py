@@ -27,9 +27,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .backend import ExecutionBackend, FilterJob, SerialBackend, TrainJob
+from .backend import (
+    ExecutionBackend,
+    FilterJob,
+    SerialBackend,
+    TrainJob,
+    materialize_stack,
+)
 from .context import WorkerRuntime
-from .shared import SharedDatasetStore, SharedVectorBuffer
+from .shared import SharedDatasetStore, SharedNDArray, SharedVectorBuffer
 from .spec import WorkerSpec
 
 __all__ = ["ProcessPoolBackend"]
@@ -40,14 +46,17 @@ __all__ = ["ProcessPoolBackend"]
 _RUNTIME: Optional[WorkerRuntime] = None
 _STARTS: Optional[np.ndarray] = None
 _RESULTS: Optional[np.ndarray] = None
+_REFS: Optional[np.ndarray] = None
 
 
 def _init_worker(spec: WorkerSpec, starts: np.ndarray,
-                 results: np.ndarray) -> None:
-    global _RUNTIME, _STARTS, _RESULTS
+                 results: np.ndarray,
+                 references: Optional[np.ndarray] = None) -> None:
+    global _RUNTIME, _STARTS, _RESULTS, _REFS
     _RUNTIME = WorkerRuntime(spec)
     _STARTS = starts
     _RESULTS = results
+    _REFS = references
 
 
 def _train_chunk(round_index: int,
@@ -66,7 +75,14 @@ def _train_chunk(round_index: int,
 
 
 def _filter_chunk(jobs: Sequence[FilterJob]) -> List[Tuple[int, np.ndarray]]:
-    return [(client_id, spec(stack)) for client_id, stack, spec in jobs]
+    """Filter a batch of clients' received stacks.
+
+    Encoded job payloads cross the executor queue at their compressed size
+    (that's the point of upload codecs) and are decoded here against the
+    shared reference vector in the ``_REFS`` shared-memory block.
+    """
+    return [(client_id, spec(materialize_stack(stack, _REFS)))
+            for client_id, stack, spec in jobs]
 
 
 def _chunked(items: Sequence, num_chunks: int) -> List[List]:
@@ -88,6 +104,14 @@ class ProcessPoolBackend(ExecutionBackend):
         self._degraded = False
         self._store = SharedDatasetStore(spec.datasets)
         self._buffers = SharedVectorBuffer(spec.num_clients, spec.model_dim)
+        # Codec reference: one (D,) shared vector the main process
+        # refreshes before each filter fan-out and workers read in place.
+        # Allocated up front — workers inherit mappings at fork time, and
+        # the executor may fork lazily on first submit.
+        self._refs: Optional[SharedNDArray] = (
+            SharedNDArray((spec.model_dim,))
+            if spec.codec_references else None
+        )
         worker_spec = dataclasses.replace(
             spec, datasets=self._store.datasets()
         )
@@ -96,7 +120,8 @@ class ProcessPoolBackend(ExecutionBackend):
             mp_context=multiprocessing.get_context("fork"),
             initializer=_init_worker,
             initargs=(worker_spec, self._buffers.starts,
-                      self._buffers.results),
+                      self._buffers.results,
+                      None if self._refs is None else self._refs.array),
         )
 
     @property
@@ -107,7 +132,8 @@ class ProcessPoolBackend(ExecutionBackend):
     @property
     def shared_nbytes(self) -> int:
         """Bytes of shared memory backing datasets and vector buffers."""
-        return self._store.nbytes + self._buffers.nbytes
+        refs = 0 if self._refs is None else self._refs.nbytes
+        return self._store.nbytes + self._buffers.nbytes + refs
 
     def _degrade(self, error: BaseException) -> None:
         self._degraded = True
@@ -148,10 +174,20 @@ class ProcessPoolBackend(ExecutionBackend):
             for client_id, _ in jobs
         }
 
-    def filter_clients(self, jobs: Sequence[FilterJob]
+    def filter_clients(self, jobs: Sequence[FilterJob], *,
+                       references: Optional[np.ndarray] = None
                        ) -> Dict[int, np.ndarray]:
         if self._degraded or not jobs:
-            return self._fallback.filter_clients(jobs)
+            return self._fallback.filter_clients(jobs, references=references)
+        if references is not None:
+            if self._refs is None:
+                # No shared block was allocated for references (the spec
+                # declared no codecs): decode in the main process and ship
+                # dense stacks instead.
+                jobs = [(client_id, materialize_stack(stack, references),
+                         spec) for client_id, stack, spec in jobs]
+            else:
+                self._refs.array[:] = references
         try:
             assert self._executor is not None
             futures = [
@@ -165,7 +201,7 @@ class ProcessPoolBackend(ExecutionBackend):
             return filtered
         except (BrokenProcessPool, OSError, RuntimeError) as error:
             self._degrade(error)
-            return self._fallback.filter_clients(jobs)
+            return self._fallback.filter_clients(jobs, references=references)
 
     def close(self) -> None:
         if self._executor is not None:
@@ -173,3 +209,5 @@ class ProcessPoolBackend(ExecutionBackend):
             self._executor = None
         self._buffers.close()
         self._store.close()
+        if self._refs is not None:
+            self._refs.close()

@@ -76,6 +76,10 @@ class WorkerSpec:
     model_factory: Callable[[np.random.Generator], object]
     datasets: Sequence[object] = field(default_factory=list)
     lr_schedule: Optional[object] = None
+    #: True when upload codecs are active: the process backend then
+    #: allocates a shared-memory reference vector (``model_dim`` floats)
+    #: that workers decode encoded filter payloads against.
+    codec_references: bool = False
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:

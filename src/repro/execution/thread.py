@@ -14,11 +14,17 @@ from __future__ import annotations
 import queue
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .backend import ExecutionBackend, FilterJob, SerialBackend, TrainJob
+from .backend import (
+    ExecutionBackend,
+    FilterJob,
+    SerialBackend,
+    TrainJob,
+    materialize_stack,
+)
 from .context import WorkerRuntime
 from .spec import WorkerSpec
 
@@ -84,20 +90,27 @@ class ThreadBackend(ExecutionBackend):
             self._degrade(error)
             return self._fallback.train_clients(round_index, jobs)
 
-    def filter_clients(self, jobs: Sequence[FilterJob]
+    @staticmethod
+    def _filter_one(spec, stack, references) -> np.ndarray:
+        return spec(materialize_stack(stack, references))
+
+    def filter_clients(self, jobs: Sequence[FilterJob], *,
+                       references: Optional[np.ndarray] = None
                        ) -> Dict[int, np.ndarray]:
         if self._degraded:
-            return self._fallback.filter_clients(jobs)
+            return self._fallback.filter_clients(jobs, references=references)
         try:
             futures = {
-                client_id: self._executor.submit(spec, stack)
+                client_id: self._executor.submit(
+                    self._filter_one, spec, stack, references
+                )
                 for client_id, stack, spec in jobs
             }
             return {client_id: future.result()
                     for client_id, future in futures.items()}
         except RuntimeError as error:
             self._degrade(error)
-            return self._fallback.filter_clients(jobs)
+            return self._fallback.filter_clients(jobs, references=references)
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)

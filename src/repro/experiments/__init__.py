@@ -1,6 +1,7 @@
 """Runnable reproductions of the paper's figures and claims."""
 
 from .ascii_plot import ascii_curve, ascii_curves
+from .comm import CODEC_SWEEP_CONFIGS, COMM_SWEEP_ATTACKS, run_comm_codecs
 from .paper import (
     PAPER_CLAIMS,
     PAPER_FIG2_FINAL_ACCURACY,
@@ -47,6 +48,9 @@ __all__ = [
     "run_fig4_heterogeneity",
     "run_fig5_alpha_panel",
     "run_comm_cost",
+    "run_comm_codecs",
+    "CODEC_SWEEP_CONFIGS",
+    "COMM_SWEEP_ATTACKS",
     "run_convergence_rate",
     "run_filter_ablation",
     "run_fault_tolerance",

@@ -92,7 +92,8 @@ def _make_workload(profile: PerfProfile, num_clients: int, seed: int
 
 def _measure(profile: PerfProfile, backend: str, num_clients: int,
              partitions: List[ArrayDataset], test: ArrayDataset, *,
-             num_workers: int, seed: int) -> Dict[str, object]:
+             num_workers: int, seed: int,
+             upload_codecs: Sequence[str] = ()) -> Dict[str, object]:
     config = FedMSConfig(
         num_clients=num_clients,
         num_servers=profile.num_servers,
@@ -102,6 +103,7 @@ def _measure(profile: PerfProfile, backend: str, num_clients: int,
         eval_clients=1,
         execution_backend=backend,
         num_workers=num_workers,
+        upload_codecs=list(upload_codecs),
         seed=seed,
     )
     dim, classes = profile.feature_dim, profile.num_classes
@@ -151,6 +153,11 @@ def run_round_loop_perf(profile: str = "smoke", *,
     ``num_clients``. Rows where the final train loss diverged from
     serial's (which bit-identity forbids) are flagged with
     ``matches_serial = False`` and get no speedup.
+
+    A ``codec`` section compares the wire bytes of one compressed run
+    (``topk(0.05) + int8`` on the serial backend, at the profile's largest
+    client count) against the matching identity row, recording the
+    achieved ``compression_ratio`` in the bench file so CI can gate on it.
     """
     try:
         spec = PERF_PROFILES[profile]
@@ -183,6 +190,29 @@ def run_round_loop_perf(profile: str = "smoke", *,
                 row["speedup_vs_serial"] = None
                 row["matches_serial"] = None
             rows.append(row)
+
+    # Codec compression check: same workload, serial backend, largest K,
+    # with the acceptance chain topk(0.05) + int8 on the wire.
+    codec_chain = ("topk(0.05)", "int8")
+    codec_clients = spec.client_counts[-1]
+    partitions, test = _make_workload(spec, codec_clients, seed)
+    identity_bytes = next(
+        float(row["bytes_per_round"]) for row in rows
+        if row["backend"] == "serial"
+        and row["num_clients"] == codec_clients
+    )
+    codec_row = _measure(spec, "serial", codec_clients, partitions, test,
+                         num_workers=num_workers, seed=seed,
+                         upload_codecs=codec_chain)
+    codec_bytes = float(codec_row["bytes_per_round"])
+    codec_section = {
+        "codecs": list(codec_chain),
+        "num_clients": codec_clients,
+        "bytes_per_round": codec_bytes,
+        "identity_bytes_per_round": identity_bytes,
+        "compression_ratio": (identity_bytes / codec_bytes
+                              if codec_bytes > 0 else None),
+    }
     return {
         "bench": "round_loop",
         "profile": spec.name,
@@ -192,6 +222,7 @@ def run_round_loop_perf(profile: str = "smoke", *,
         "client_counts": list(spec.client_counts),
         "local_steps": spec.local_steps,
         "rows": rows,
+        "codec": codec_section,
     }
 
 
@@ -227,5 +258,14 @@ def format_report(report: Dict[str, object]) -> str:
             f"{row['bytes_per_round'] / 1024:>10.1f} "
             + (f"{speedup:>9.2f}x" if speedup is not None else f"{'-':>10}")
             + ("  [degraded]" if row["degraded"] else "")
+        )
+    codec = report.get("codec")
+    if codec:
+        ratio = codec.get("compression_ratio")
+        lines.append(
+            f"codec {'+'.join(codec['codecs'])} @ K={codec['num_clients']}: "
+            f"{codec['bytes_per_round'] / 1024:.1f} KiB/round vs "
+            f"{codec['identity_bytes_per_round'] / 1024:.1f} identity"
+            + (f" ({ratio:.1f}x)" if ratio is not None else "")
         )
     return "\n".join(lines)

@@ -67,7 +67,10 @@ class Message:
 
     ``payload`` is typically a flat model vector; its size in bytes is
     computed from the array buffer, which is what a real transport would
-    serialize.
+    serialize. Encoded payloads (anything declaring ``encoded_nbytes``,
+    like :class:`~repro.core.codecs.EncodedUpdate`) are charged their
+    declared size instead — the array-buffer fallback would over-count a
+    sparse/quantized representation at its decoded density.
     """
 
     __slots__ = ("sender", "recipient", "payload", "tag", "round_index")
@@ -82,6 +85,9 @@ class Message:
 
     @property
     def size_bytes(self) -> int:
+        declared = getattr(self.payload, "encoded_nbytes", None)
+        if declared is not None:
+            return int(declared)
         return int(np.asarray(self.payload).nbytes)
 
     def __repr__(self) -> str:

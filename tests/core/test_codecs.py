@@ -1,0 +1,303 @@
+"""Tests for the composable upload codec pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError
+from repro.core import (
+    CodecPipeline,
+    EncodedUpdate,
+    Int8Quantizer,
+    SignQuantizer,
+    TopKSparsifier,
+    available_codecs,
+    make_codec,
+    make_codec_pipeline,
+)
+from repro.core.codecs import (
+    MIN_BROADCAST_KEEP_RATIO,
+    CyclicSparsifier,
+    IdentityCodec,
+    broadcast_variant,
+    parse_codec_spec,
+)
+
+
+def _vector(dim=500, seed=0, scale=1.0):
+    return np.random.default_rng(seed).normal(scale=scale, size=dim)
+
+
+finite_vectors = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+              allow_infinity=False, width=64),
+    min_size=1, max_size=200,
+).map(np.asarray)
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        vector = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        decoded = make_codec_pipeline(["topk(0.4)"]).encode(vector).decode()
+        np.testing.assert_allclose(decoded, [0.0, -5.0, 0.0, 3.0, 0.0])
+
+    def test_full_ratio_is_lossless(self):
+        vector = _vector()
+        decoded = make_codec_pipeline(["topk(1.0)"]).encode(vector).decode()
+        np.testing.assert_array_equal(decoded, vector)
+
+    @settings(max_examples=30, deadline=None)
+    @given(vector=finite_vectors,
+           ratio=st.floats(min_value=0.01, max_value=1.0))
+    def test_support_is_exact_and_rest_zero(self, vector, ratio):
+        encoded = make_codec_pipeline([f"topk({ratio})"]).encode(vector)
+        decoded = encoded.decode()
+        support = decoded != 0.0
+        # Values on the support round-trip exactly; off-support is zero
+        # ("unchanged" once applied to a delta), never a clobbered weight.
+        np.testing.assert_array_equal(decoded[support], vector[support])
+        kept = np.abs(vector[support])
+        dropped = np.abs(vector[~support])
+        if kept.size and dropped.size:
+            assert kept.min() >= dropped.max()
+
+    def test_ratio_validation(self):
+        for ratio in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                TopKSparsifier(ratio)
+
+    def test_at_least_one_coordinate(self):
+        encoded = make_codec_pipeline(["topk(0.001)"]).encode(np.ones(3))
+        assert np.count_nonzero(encoded.decode()) == 1
+
+
+class TestCyclic:
+    def test_support_is_shared_across_senders(self):
+        # The trim-compatibility property: two different vectors encoded
+        # with the same salt decode to the same support, so coordinate-wise
+        # filters compare fresh values with fresh values.
+        pipeline = make_codec_pipeline(["cyclic(0.25)"])
+        a = pipeline.encode(_vector(seed=1), salt=7).decode()
+        b = pipeline.encode(_vector(seed=2), salt=7).decode()
+        np.testing.assert_array_equal(a != 0.0, b != 0.0)
+
+    def test_support_cycles_with_salt(self):
+        vector = _vector(dim=8) + 10.0  # no accidental zeros
+        pipeline = make_codec_pipeline(["cyclic(0.25)"])
+        supports = [
+            np.flatnonzero(pipeline.encode(vector, salt=t).decode())
+            for t in range(4)
+        ]
+        covered = np.sort(np.concatenate(supports))
+        # One full period covers every coordinate exactly once.
+        np.testing.assert_array_equal(covered, np.arange(8))
+        # ...and the schedule is periodic in the salt.
+        np.testing.assert_array_equal(
+            supports[0],
+            np.flatnonzero(pipeline.encode(vector, salt=4).decode()),
+        )
+
+    def test_values_on_support_round_trip_exactly(self):
+        vector = _vector()
+        decoded = make_codec_pipeline(["cyclic(0.2)"]).encode(
+            vector, salt=3).decode()
+        support = decoded != 0.0
+        np.testing.assert_array_equal(decoded[support], vector[support])
+
+    def test_no_index_arrays_transmitted(self):
+        # The support is implicit in (salt, period): only the surviving
+        # float values are charged, unlike top-k's explicit index array.
+        vector = _vector(dim=1000)
+        cyclic = make_codec_pipeline(["cyclic(0.1)"]).encode(vector, salt=0)
+        assert cyclic.encoded_nbytes == 100 * 8
+
+    def test_full_ratio_is_lossless(self):
+        vector = _vector()
+        decoded = make_codec_pipeline(["cyclic(1.0)"]).encode(
+            vector, salt=5).decode()
+        np.testing.assert_array_equal(decoded, vector)
+
+    def test_small_dim_keeps_at_least_one(self):
+        decoded = make_codec_pipeline(["cyclic(0.05)"]).encode(
+            np.array([4.0, 2.0]), salt=6).decode()
+        assert np.count_nonzero(decoded) >= 1
+
+    def test_ratio_validation(self):
+        for ratio in (0.0, -0.2, 1.01):
+            with pytest.raises(ConfigurationError):
+                CyclicSparsifier(ratio)
+
+    def test_chains_with_quantizer(self):
+        vector = _vector(scale=0.1)
+        encoded = make_codec_pipeline(["cyclic(0.25)", "int8"]).encode(
+            vector, salt=2)
+        decoded = encoded.decode()
+        support = np.zeros(vector.size, dtype=bool)
+        support[2::4] = True
+        assert np.all(decoded[~support] == 0.0)
+        assert np.abs(decoded[support] - vector[support]).max() < 0.01
+
+
+class TestBroadcastVariant:
+    def test_topk_becomes_cyclic_with_ratio_floor(self):
+        upload = make_codec_pipeline(["topk(0.05)", "int8"])
+        broadcast = broadcast_variant(upload)
+        assert broadcast.specs == (
+            f"cyclic({MIN_BROADCAST_KEEP_RATIO:g})", "int8")
+
+    def test_large_topk_ratio_carries_over(self):
+        broadcast = broadcast_variant(make_codec_pipeline(["topk(0.5)"]))
+        assert broadcast.specs == ("cyclic(0.5)",)
+
+    def test_identity_stays_identity(self):
+        assert broadcast_variant(make_codec_pipeline(None)).is_identity
+
+    def test_quantizer_only_chain_unchanged(self):
+        broadcast = broadcast_variant(make_codec_pipeline(["int8"]))
+        assert broadcast.specs == ("int8",)
+
+
+class TestInt8:
+    @settings(max_examples=30, deadline=None)
+    @given(vector=finite_vectors)
+    def test_error_bounded_by_half_a_level(self, vector):
+        encoded = make_codec_pipeline(["int8"]).encode(vector)
+        error = np.abs(encoded.decode() - vector)
+        span = vector.max() - vector.min()
+        # Half a quantization level plus float32 rounding of the per-chunk
+        # low/scale parameters.
+        bound = span / (2 * Int8Quantizer.LEVELS) + 2e-5 * (
+            1.0 + np.abs(vector).max()
+        )
+        assert error.max() <= bound
+
+    def test_constant_chunk_is_exact(self):
+        vector = np.full(100, 3.25)
+        decoded = make_codec_pipeline(["int8"]).encode(vector).decode()
+        np.testing.assert_allclose(decoded, vector, atol=1e-6)
+
+    def test_chunk_validation(self):
+        with pytest.raises(ConfigurationError):
+            Int8Quantizer(0)
+
+
+class TestSign:
+    def test_decodes_to_signed_chunk_magnitude(self):
+        vector = np.array([1.0, -3.0, 2.0, -2.0])
+        decoded = make_codec_pipeline(["sign(2)"]).encode(vector).decode()
+        np.testing.assert_allclose(decoded, [2.0, -2.0, 2.0, -2.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(vector=finite_vectors)
+    def test_signs_survive(self, vector):
+        decoded = make_codec_pipeline(["sign"]).encode(vector).decode()
+        nonzero = vector != 0.0
+        ok = (np.sign(decoded[nonzero]) == np.sign(vector[nonzero])) \
+            | (decoded[nonzero] == 0.0)
+        assert np.all(ok)
+
+
+class TestChaining:
+    def test_topk_then_int8_error_bounded_on_support(self):
+        vector = _vector(2000, seed=3)
+        encoded = make_codec_pipeline(["topk(0.1)", "int8"]).encode(vector)
+        decoded = encoded.decode()
+        support = decoded != 0.0
+        kept = make_codec_pipeline(["topk(0.1)"]).encode(vector).decode()
+        span = np.abs(kept[kept != 0.0]).max() * 2
+        assert np.abs(decoded[support] - vector[support]).max() \
+            <= span / 255 + 1e-4
+
+    def test_terminal_must_be_last(self):
+        with pytest.raises(ConfigurationError):
+            make_codec_pipeline(["int8", "topk(0.1)"])
+        with pytest.raises(ConfigurationError):
+            make_codec_pipeline(["sign", "int8"])
+
+    def test_chain_shrinks_bytes(self):
+        vector = _vector(10_000)
+        dense_nbytes = vector.nbytes
+        topk = make_codec_pipeline(["topk(0.05)"]).encode(vector)
+        chained = make_codec_pipeline(["topk(0.05)", "int8"]).encode(vector)
+        assert topk.encoded_nbytes < dense_nbytes / 10
+        assert chained.encoded_nbytes < topk.encoded_nbytes
+
+    def test_encoded_nbytes_counts_all_arrays(self):
+        encoded = make_codec_pipeline(["topk(0.5)"]).encode(_vector(100))
+        carrier = encoded.carrier.nbytes
+        sides = sum(side.nbytes for stage in encoded.stages
+                    for side in stage.sides.values())
+        assert encoded.encoded_nbytes == carrier + sides
+
+
+class TestPipelineApi:
+    def test_identity_default(self):
+        pipeline = make_codec_pipeline(None)
+        assert pipeline.is_identity
+        assert make_codec_pipeline([]).is_identity
+        assert not make_codec_pipeline(["topk(0.5)"]).is_identity
+
+    def test_explicit_identity_codec(self):
+        pipeline = make_codec_pipeline(["identity"])
+        assert pipeline.is_identity
+        vector = _vector(50)
+        np.testing.assert_array_equal(pipeline.encode(vector).decode(),
+                                      vector)
+
+    def test_specs_round_trip(self):
+        pipeline = make_codec_pipeline(["topk(0.05)", "int8"])
+        assert pipeline.specs == ("topk(0.05)", "int8")
+        rebuilt = make_codec_pipeline(pipeline.specs)
+        vector = _vector(300)
+        np.testing.assert_array_equal(rebuilt.encode(vector).decode(),
+                                      pipeline.encode(vector).decode())
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_codec_pipeline(["topk(0.5)"]).encode(np.array([]))
+
+    def test_encoded_update_pickles(self):
+        import pickle
+
+        encoded = make_codec_pipeline(["topk(0.1)", "int8"]).encode(
+            _vector(500)
+        )
+        clone = pickle.loads(pickle.dumps(encoded))
+        assert isinstance(clone, EncodedUpdate)
+        np.testing.assert_array_equal(clone.decode(), encoded.decode())
+        assert clone.encoded_nbytes == encoded.encoded_nbytes
+
+
+class TestSpecParsing:
+    def test_parse_forms(self):
+        assert parse_codec_spec("topk") == ("topk", ())
+        assert parse_codec_spec("topk(0.05)") == ("topk", (0.05,))
+        assert parse_codec_spec(" int8( 512 ) ") == ("int8", (512.0,))
+
+    def test_malformed_specs(self):
+        for spec in ("topk(", "topk)0.1(", "to pk", "topk(a)", ""):
+            with pytest.raises(ConfigurationError):
+                make_codec(spec)
+
+    def test_unknown_codec(self):
+        with pytest.raises(ConfigurationError):
+            make_codec("zstd")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ConfigurationError):
+            make_codec("topk(0.1, 0.2)")
+
+    def test_available_codecs(self):
+        names = available_codecs()
+        assert {"identity", "topk", "sign", "int8"} <= set(names)
+
+
+class TestDeterminism:
+    def test_encode_is_deterministic(self):
+        vector = _vector(700, seed=9)
+        pipeline = make_codec_pipeline(["topk(0.1)", "int8"])
+        first = pipeline.encode(vector)
+        second = pipeline.encode(vector)
+        np.testing.assert_array_equal(first.decode(), second.decode())
+        assert first.encoded_nbytes == second.encoded_nbytes

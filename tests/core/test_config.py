@@ -4,6 +4,7 @@ import pytest
 
 from repro.common import ConfigurationError
 from repro.core import FedMSConfig
+from repro.core.config import UPLOAD_CODECS_ENV
 
 
 class TestDefaults:
@@ -67,3 +68,36 @@ class TestValidation:
     def test_rejects_zero_local_steps(self):
         with pytest.raises(ConfigurationError):
             FedMSConfig(local_steps=0)
+
+
+class TestUploadCodecs:
+    def test_default_is_identity(self, monkeypatch):
+        monkeypatch.delenv(UPLOAD_CODECS_ENV, raising=False)
+        assert FedMSConfig().resolved_upload_codecs == ()
+
+    def test_explicit_chain_preserved(self):
+        config = FedMSConfig(upload_codecs=["topk(0.05)", "int8"])
+        assert tuple(config.resolved_upload_codecs) == ("topk(0.05)", "int8")
+
+    def test_bad_chain_rejected_at_config_time(self):
+        with pytest.raises(ConfigurationError, match="unknown codec"):
+            FedMSConfig(upload_codecs=["gzip"])
+
+    def test_terminal_mid_chain_rejected_at_config_time(self):
+        with pytest.raises(ConfigurationError, match="terminal"):
+            FedMSConfig(upload_codecs=["int8", "topk(0.05)"])
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv(UPLOAD_CODECS_ENV, "topk(0.1),sign")
+        assert tuple(FedMSConfig().resolved_upload_codecs) \
+            == ("topk(0.1)", "sign")
+
+    def test_explicit_field_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(UPLOAD_CODECS_ENV, "sign")
+        config = FedMSConfig(upload_codecs=["int8"])
+        assert tuple(config.resolved_upload_codecs) == ("int8",)
+
+    def test_bad_env_chain_rejected(self, monkeypatch):
+        monkeypatch.setenv(UPLOAD_CODECS_ENV, "warp_drive")
+        with pytest.raises(ConfigurationError):
+            FedMSConfig().resolved_upload_codecs

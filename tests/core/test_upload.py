@@ -7,12 +7,14 @@ from hypothesis import strategies as st
 
 from repro.common import ConfigurationError, RngFactory
 from repro.core import (
+    FedMSConfig,
     FullUpload,
     MultiUpload,
     RetryPolicy,
     SparseUpload,
     make_upload_strategy,
 )
+from repro.core.config import FaultConfig
 
 
 class TestSparseUpload:
@@ -65,17 +67,48 @@ class TestMultiUpload:
             MultiUpload(0)
 
 
+def _config(**kwargs):
+    kwargs.setdefault("num_clients", 6)
+    kwargs.setdefault("num_servers", 4)
+    kwargs.setdefault("num_byzantine", 0)
+    return FedMSConfig(**kwargs)
+
+
 class TestFactory:
-    def test_builds_each_kind(self):
-        assert isinstance(make_upload_strategy("sparse"), SparseUpload)
-        assert isinstance(make_upload_strategy("full"), FullUpload)
-        multi = make_upload_strategy("multi", uploads_per_client=2)
+    def test_builds_each_kind_from_config(self):
+        assert isinstance(
+            make_upload_strategy(_config(upload_strategy="sparse")),
+            SparseUpload,
+        )
+        assert isinstance(
+            make_upload_strategy(_config(upload_strategy="full")),
+            FullUpload,
+        )
+        multi = make_upload_strategy(
+            _config(upload_strategy="multi", uploads_per_client=2)
+        )
         assert isinstance(multi, MultiUpload)
         assert multi.count == 2
 
-    def test_unknown_name(self):
+    def test_unknown_name_rejected_at_config_time(self):
         with pytest.raises(ConfigurationError):
-            make_upload_strategy("smoke_signals")
+            _config(upload_strategy="smoke_signals")
+
+    def test_legacy_name_form_is_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            strategy = make_upload_strategy("sparse")
+        assert isinstance(strategy, SparseUpload)
+        with pytest.warns(DeprecationWarning):
+            multi = make_upload_strategy("multi", uploads_per_client=3)
+        assert multi.count == 3
+
+    def test_config_form_rejects_stray_kwarg(self):
+        with pytest.raises(ConfigurationError):
+            make_upload_strategy(_config(), uploads_per_client=2)
+
+    def test_rejects_non_config_argument(self):
+        with pytest.raises(ConfigurationError):
+            make_upload_strategy(42)
 
 
 class TestCostContract:
@@ -137,3 +170,16 @@ class TestRetryPolicy:
             RetryPolicy(base_backoff_s=-0.1)
         with pytest.raises(ConfigurationError):
             RetryPolicy(backoff_factor=0.5)
+
+    def test_from_fedms_config(self):
+        config = _config(faults=FaultConfig(
+            max_upload_retries=5, retry_backoff_s=0.25, backoff_factor=3.0,
+        ))
+        policy = RetryPolicy.from_config(config)
+        assert policy.max_retries == 5
+        assert policy.base_backoff_s == pytest.approx(0.25)
+        assert policy.backoff_factor == pytest.approx(3.0)
+
+    def test_from_bare_fault_config(self):
+        policy = RetryPolicy.from_config(FaultConfig(max_upload_retries=7))
+        assert policy.max_retries == 7

@@ -160,6 +160,49 @@ class TestBitIdentity:
         assert fingerprints["serial"] == fingerprints["thread"]
         assert fingerprints["serial"] == fingerprints["process"]
 
+    def test_codecs_bit_identical(self):
+        # Codecs are deterministic pure functions of (vector, salt), so
+        # compressed runs — encoded filter payloads travelling through
+        # executor queues, workers decoding against the shared reference —
+        # must stay bit-identical too.
+        fingerprints = {}
+        for backend in BACKENDS:
+            history, degraded = run_history(
+                backend, upload_codecs=["topk(0.2)", "int8"]
+            )
+            assert not degraded, f"{backend} backend degraded unexpectedly"
+            fingerprints[backend] = history_fingerprint(history)
+        assert fingerprints["serial"] == fingerprints["thread"]
+        assert fingerprints["serial"] == fingerprints["process"]
+
+    def test_codecs_bit_identical_under_ps_crash(self):
+        # Degraded quorums change which encoded broadcasts each client
+        # decodes; the shared-reference bookkeeping must not diverge.
+        plan = FaultPlan(crashes=(ServerCrash(4, 1), ServerCrash(3, 2, 4)))
+        fingerprints = {}
+        for backend in BACKENDS:
+            history, _ = run_history(
+                backend, num_rounds=4,
+                upload_codecs=["topk(0.2)", "int8"],
+                fault_injector=FaultInjector(plan),
+            )
+            fingerprints[backend] = history_fingerprint(history)
+        assert fingerprints["serial"] == fingerprints["thread"]
+        assert fingerprints["serial"] == fingerprints["process"]
+
+    def test_codecs_adaptive_filter_bit_identical(self):
+        # Estimating rules decode in the main process (no FilterSpec);
+        # the memoized decode path must agree with worker-side decodes.
+        fingerprints = {}
+        for backend in BACKENDS:
+            history, _ = run_history(
+                backend, upload_codecs=["topk(0.2)", "int8"],
+                filter_rule_name="adaptive_trimmed_mean",
+            )
+            fingerprints[backend] = history_fingerprint(history)
+        assert fingerprints["serial"] == fingerprints["thread"]
+        assert fingerprints["serial"] == fingerprints["process"]
+
 
 class TestWorkerCrash:
     def test_broken_pool_degrades_to_serial(self):

@@ -44,6 +44,17 @@ class TestParser:
         assert args.command == "perf"
         assert args.profile == "smoke"
 
+    def test_codec_flag_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["--codec", "topk(0.05)", "--codec", "int8", "fig2"]
+        )
+        assert args.codecs == ["topk(0.05)", "int8"]
+
+    def test_comm_skip_codecs_flag(self):
+        assert build_parser().parse_args(["comm"]).skip_codecs is False
+        assert build_parser().parse_args(
+            ["comm", "--skip-codecs"]).skip_codecs is True
+
 
 class TestCommands:
     def test_fig2_runs(self, capsys):
@@ -69,6 +80,23 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "sparse" in output
         assert "full" in output
+        # The codec x attack sweep is emitted alongside the cost table.
+        assert "comm_codecs" in output
+        assert "topk+int8" in output
+
+    def test_comm_skip_codecs(self, capsys):
+        assert main(["comm", "--skip-codecs"]) == 0
+        output = capsys.readouterr().out
+        assert "sparse" in output
+        assert "comm_codecs" not in output
+
+    def test_codec_flag_exports_environment(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_UPLOAD_CODECS", "")
+        assert main(["--codec", "topk(0.2)", "--codec", "int8",
+                     "fig4"]) == 0
+        assert os.environ["REPRO_UPLOAD_CODECS"] == "topk(0.2),int8"
 
     def test_convergence_runs(self, capsys):
         assert main(["convergence", "--rounds", "24"]) == 0

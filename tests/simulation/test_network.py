@@ -37,6 +37,28 @@ class TestMessage:
         message = make_message(size=10)
         assert message.size_bytes == 80  # 10 float64
 
+    def test_size_bytes_respects_encoded_payloads(self):
+        # Regression: size_bytes used to charge nbytes of whatever numpy
+        # saw, so compressed payloads were billed at dense size. Any
+        # payload advertising encoded_nbytes must be charged exactly that.
+        class FakeEncoded:
+            encoded_nbytes = 17
+
+        message = Message(NodeId.client(0), NodeId.server(0), FakeEncoded(),
+                          tag="upload", round_index=0)
+        assert message.size_bytes == 17
+
+    def test_encoded_update_charged_below_dense(self):
+        from repro.core.codecs import make_codec_pipeline
+
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=1000)
+        encoded = make_codec_pipeline(["topk(0.05)", "int8"]).encode(dense)
+        message = Message(NodeId.client(0), NodeId.server(0), encoded,
+                          tag="upload", round_index=0)
+        assert message.size_bytes == encoded.encoded_nbytes
+        assert message.size_bytes < dense.nbytes / 10
+
     def test_repr_mentions_tag(self):
         assert "upload" in repr(make_message())
 
