@@ -24,7 +24,7 @@ def thresholds() -> dict:
     differ — an 8-round smoke run cannot reach the accuracy a 60-round paper
     run does, but the orderings must already be visible.
     """
-    if current_scale().name == "smoke":
+    if current_scale().name in ("tiny", "smoke"):
         return {
             "useful": 0.18,       # well above the 10% random-guess floor
             "margin_big": 0.05,   # decisive-win margin

@@ -85,3 +85,20 @@ def test_codec_bytes_per_round_gate(report):
     assert codec["compression_ratio"] == pytest.approx(
         codec["identity_bytes_per_round"] / codec["bytes_per_round"]
     )
+
+
+def test_population_row_present(report):
+    # The population row (K=1000, 10% sampling, 8x2x1 tiers) rides along
+    # in the same artifact so CI tracks sharded-aggregation throughput.
+    population = report["population"]
+    assert population["population_size"] == 1000
+    assert population["sample_fraction"] == 0.1
+    assert population["tier_spec"] == [8, 2, 1]
+    assert population["rounds_per_sec"] > 0
+    assert population["seconds_per_round"] > 0
+    assert population["bytes_per_round"] > 0
+    # Lazy materialization: peak live clients == the sampled cohort,
+    # never the full population.
+    assert population["sampled_per_round"] < 1000
+    assert (population["peak_materialized_clients"]
+            == population["sampled_per_round"])

@@ -11,6 +11,7 @@ Usage::
     python -m repro ablation
     python -m repro faults --loss-rate 0.2 --crashes 2
     python -m repro adaptive --attack dispersion_mimicry
+    python -m repro population --scale tiny
     python -m repro quickstart
     python -m repro perf --profile smoke
 
@@ -44,6 +45,8 @@ from .experiments import (
     run_adaptive_crossover,
     run_comm_codecs,
     run_comm_cost,
+    run_population_comm,
+    run_population_scale,
     run_convergence_rate,
     run_fault_tolerance,
     run_fig2_attack_panel,
@@ -58,10 +61,23 @@ from .experiments import (
 __all__ = ["main", "build_parser"]
 
 
+#: Grouped command index shown under ``python -m repro --help``.
+HELP_EPILOG = """\
+command groups:
+  paper figures   fig2, fig3, fig4, fig5, comm, convergence, ablation, all
+  extensions      faults, adaptive, population
+  ops             quickstart, perf
+
+Run 'python -m repro <command> --help' for per-command flags.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fed-MS reproduction: regenerate the paper's figures.",
+        epilog=HELP_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--scale", choices=sorted(SCALES),
                         help="workload scale (default: REPRO_BENCH_SCALE or "
@@ -101,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
     comm.add_argument("--skip-codecs", action="store_true",
                       help="only run the sparse-vs-full message accounting, "
                            "not the codec sweep")
+    comm.add_argument("--skip-population", action="store_true",
+                      help="skip the population-topology traffic breakdown "
+                           "(per-tier legs, peak materialized clients)")
 
     convergence = commands.add_parser(
         "convergence", help="Theorem 1 rate on a convex problem")
@@ -128,6 +147,31 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--no-faults", action="store_true",
                           help="skip the companion runs with one benign "
                                "PS crash")
+
+    population = commands.add_parser(
+        "population", help="population-scale sampling + churn + sharded "
+                           "tier aggregation (extension)")
+    population.add_argument("--attack", default="sign_flip",
+                            choices=available_attacks(),
+                            help="attack run by the Byzantine edge "
+                                 "aggregators (default sign_flip)")
+    population.add_argument("--population", action="append", type=int,
+                            dest="populations", metavar="K",
+                            help="population size; repeat for a sweep "
+                                 "(default: the scale's preset size)")
+    population.add_argument("--rounds", type=int, default=None,
+                            help="override the scale's round count")
+    population.add_argument("--sample-fraction", type=float, default=None,
+                            help="per-round sampling fraction "
+                                 "(default: the scale's preset, 0.1)")
+    population.add_argument("--no-churn", action="store_true",
+                            help="keep the population static (no "
+                                 "join/leave/rejoin churn)")
+    population.add_argument("--filter", dest="filter_rule", default=None,
+                            choices=("trimmed_mean", "adaptive_trimmed_mean",
+                                     "loss_based"),
+                            help="filter rule applied at tiers >= 1 "
+                                 "(default: per-tier static trimmed mean)")
 
     commands.add_parser("quickstart", help="tiny end-to-end demo run")
 
@@ -196,6 +240,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit(run_comm_cost(scale=scale, seed=seed))
         if not args.skip_codecs:
             _emit(run_comm_codecs(scale=scale, seed=seed))
+        if not args.skip_population:
+            _emit(run_population_comm(scale=scale, seed=seed))
+    elif args.command == "population":
+        _emit(run_population_scale(
+            attack_name=args.attack, scale=scale,
+            populations=args.populations,
+            sample_fraction=args.sample_fraction,
+            num_rounds=args.rounds,
+            with_churn=not args.no_churn,
+            filter_rule_name=args.filter_rule,
+            seed=seed,
+        ))
     elif args.command == "convergence":
         _emit(run_convergence_rate(num_rounds=args.rounds,
                                    num_byzantine=args.byzantine, seed=seed))

@@ -148,6 +148,35 @@ class FedMSConfig:
         How many client models are evaluated (and averaged) when measuring
         test accuracy. After the filter step all clients hold nearly
         identical models, so a small sample is an accurate estimate.
+    population_size:
+        Total number of clients a population-scale run knows about (the
+        :class:`~repro.population.ClientPopulation`'s ``K``). Only the
+        clients sampled each round materialize datasets and models; the
+        rest stay lightweight descriptors. ``None`` (default) means the
+        run is a flat, full-materialization simulation and the
+        population-scale fields below are unused.
+    sample_fraction:
+        Fraction of the *active* population sampled (uniformly, without
+        replacement, from a ``(seed, round)``-derived stream) to train
+        each round of a population-scale run.
+    tier_spec:
+        Aggregator counts per tier of the sharded topology, bottom-up —
+        e.g. ``(8, 2, 1)`` is 8 edge aggregators feeding 2 regional
+        aggregators feeding 1 global. Must be non-increasing and end in
+        ``1``. Required by :class:`~repro.population.PopulationTrainer`.
+    tier_byzantine:
+        How many aggregators *at* each tier are Byzantine (same length as
+        ``tier_spec``; the global tier must be honest). The filter at tier
+        ``t+1`` trims ``tier_byzantine[t]`` from each side per parent, so
+        feasibility requires every parent's child count to satisfy
+        ``q >= 2B+1`` even under worst-case placement. ``None`` = all
+        honest.
+    churn_join_rate / churn_leave_rate / churn_rejoin_fraction /
+    churn_dwell_rounds:
+        Knobs for sampling a :class:`~repro.population.ChurnPlan` (see
+        :meth:`ChurnPlan.from_config`): per-client probabilities of
+        joining late or leaving mid-run, the fraction of leavers that
+        rejoin, and how many rounds they stay away.
     faults:
         Graceful-degradation knobs (round deadline, upload retry budget
         and backoff); defaults are used when ``None``. The fault *events*
@@ -184,6 +213,14 @@ class FedMSConfig:
     include_buffers: bool = True
     participation_fraction: float = 1.0
     eval_clients: int = 3
+    population_size: Optional[int] = None
+    sample_fraction: float = 0.1
+    tier_spec: Optional[Sequence[int]] = None
+    tier_byzantine: Optional[Sequence[int]] = None
+    churn_join_rate: float = 0.0
+    churn_leave_rate: float = 0.0
+    churn_rejoin_fraction: float = 0.5
+    churn_dwell_rounds: int = 3
     faults: Optional[FaultConfig] = None
     execution_backend: Optional[str] = None
     num_workers: Optional[int] = None
@@ -227,6 +264,52 @@ class FedMSConfig:
                 f"num_clients={self.num_clients}")
         require(self.faults is None or isinstance(self.faults, FaultConfig),
                 f"faults must be a FaultConfig, got {type(self.faults)}")
+        if self.population_size is not None:
+            check_positive_int(self.population_size, "population_size")
+        require(0.0 < self.sample_fraction <= 1.0,
+                f"sample_fraction must be in (0, 1], got "
+                f"{self.sample_fraction}")
+        require(self.tier_spec is not None or self.tier_byzantine is None,
+                "tier_byzantine requires a tier_spec")
+        if self.tier_spec is not None:
+            self.tier_spec = tuple(int(n) for n in self.tier_spec)
+            require(len(self.tier_spec) >= 1, "tier_spec must be non-empty")
+            for n in self.tier_spec:
+                check_positive_int(n, "tier_spec entries")
+            require(self.tier_spec[-1] == 1,
+                    f"the top tier must be a single global aggregator, got "
+                    f"tier_spec={self.tier_spec}")
+            require(all(a >= b for a, b in zip(self.tier_spec,
+                                               self.tier_spec[1:])),
+                    f"tier_spec must be non-increasing bottom-up, got "
+                    f"{self.tier_spec}")
+        if self.tier_byzantine is not None:
+            self.tier_byzantine = tuple(int(b) for b in self.tier_byzantine)
+            require(len(self.tier_byzantine) == len(self.tier_spec),
+                    f"tier_byzantine has {len(self.tier_byzantine)} entries "
+                    f"for {len(self.tier_spec)} tiers")
+            for b in self.tier_byzantine:
+                check_nonnegative_int(b, "tier_byzantine entries")
+            require(self.tier_byzantine[-1] == 0,
+                    "the global aggregator must be honest "
+                    "(tier_byzantine must end in 0)")
+            for t in range(1, len(self.tier_spec)):
+                budget = self.tier_byzantine[t - 1]
+                require(budget <= self.tier_spec[t - 1],
+                        f"tier_byzantine[{t - 1}]={budget} exceeds the "
+                        f"{self.tier_spec[t - 1]} aggregators at tier {t - 1}")
+                min_children = self.tier_spec[t - 1] // self.tier_spec[t]
+                require(min_children >= 2 * budget + 1,
+                        f"tier {t} quorum infeasible: parents see "
+                        f"{min_children} children but tolerating "
+                        f"B={budget} Byzantine tier-{t - 1} aggregators "
+                        f"needs q >= {2 * budget + 1}")
+        check_fraction(self.churn_join_rate, "churn_join_rate",
+                       upper=1.0, inclusive_upper=False)
+        check_fraction(self.churn_leave_rate, "churn_leave_rate",
+                       upper=1.0, inclusive_upper=False)
+        check_fraction(self.churn_rejoin_fraction, "churn_rejoin_fraction")
+        check_positive_int(self.churn_dwell_rounds, "churn_dwell_rounds")
         require(self.execution_backend is None
                 or self.execution_backend in _EXECUTION_BACKENDS,
                 f"execution_backend must be one of {_EXECUTION_BACKENDS}, "
@@ -305,6 +388,23 @@ class FedMSConfig:
                       if piece.strip())
         make_codec_pipeline(specs)
         return specs
+
+    @property
+    def resolved_tier_byzantine(self) -> "tuple":
+        """Per-tier Byzantine counts (zeros when ``tier_byzantine`` unset).
+
+        Only meaningful with a ``tier_spec``; returns ``()`` without one.
+        """
+        if self.tier_spec is None:
+            return ()
+        if self.tier_byzantine is not None:
+            return tuple(self.tier_byzantine)
+        return (0,) * len(self.tier_spec)
+
+    @property
+    def has_churn(self) -> bool:
+        """True when the config asks for a sampled churn plan."""
+        return self.churn_join_rate > 0.0 or self.churn_leave_rate > 0.0
 
     @property
     def participants_per_round(self) -> int:

@@ -23,6 +23,7 @@ Round structure:
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -72,6 +73,17 @@ class HierarchicalTrainer:
         if config.num_byzantine > 0 and attack is None:
             raise ConfigurationError(
                 "config.num_byzantine > 0 requires an attack"
+            )
+        ignored = []
+        if config.upload_strategy != "sparse":
+            ignored.append(f"upload_strategy={config.upload_strategy!r}")
+        if config.resolved_upload_codecs:
+            ignored.append(f"upload_codecs={config.resolved_upload_codecs!r}")
+        if ignored:
+            warnings.warn(
+                "HierarchicalTrainer ignores " + " and ".join(ignored)
+                + ": grouping is static and uploads travel uncoded",
+                RuntimeWarning, stacklevel=2,
             )
         self.config = config
         self.test_dataset = test_dataset

@@ -30,6 +30,18 @@ class RoundRecord:
     ``filtered_model_ids`` lists the PSs whose disseminated model at
     least one client's filter rejected outright — the adaptive rule's
     flagged outliers, or the candidates loss-based selection declined.
+
+    The population fields are filled by
+    :class:`~repro.population.PopulationTrainer` runs and stay at their
+    defaults for flat runs: ``num_active_clients``/``num_sampled_clients``/
+    ``materialized_clients`` trace the per-round sampling funnel,
+    ``churn_events`` lists this round's join/leave/rejoin transitions, and
+    the ``tier_*`` dicts (keyed by tier index, 1 = first filtering tier)
+    record what each tier's filter concluded: the maximum Byzantine-count
+    estimate across that tier's aggregators, the *global aggregator
+    indices* whose forwarded model some parent rejected, and the
+    aggregators that degraded (reduced quorum) or fell back to their
+    previous output (quorum at or below ``2B_t``).
     """
 
     round_index: int
@@ -49,6 +61,16 @@ class RoundRecord:
     fault_events: List[str] = field(default_factory=list)
     estimated_byzantine: Optional[int] = None
     filtered_model_ids: List[int] = field(default_factory=list)
+    num_active_clients: Optional[int] = None
+    num_sampled_clients: Optional[int] = None
+    materialized_clients: Optional[int] = None
+    churn_events: List[str] = field(default_factory=list)
+    tier_estimated_byzantine: Dict[int, int] = field(default_factory=dict)
+    tier_filtered_model_ids: Dict[int, List[int]] = field(default_factory=dict)
+    tier_degraded_aggregators: Dict[int, List[int]] = field(
+        default_factory=dict)
+    tier_fallback_aggregators: Dict[int, List[int]] = field(
+        default_factory=dict)
 
     @property
     def min_models_received(self) -> Optional[int]:
@@ -61,6 +83,12 @@ class RoundRecord:
     def degraded(self) -> bool:
         """True when any client filtered a reduced quorum or fell back."""
         return bool(self.degraded_clients or self.fallback_clients)
+
+    @property
+    def tier_degraded(self) -> bool:
+        """True when any aggregation tier degraded or fell back."""
+        return bool(self.tier_degraded_aggregators
+                    or self.tier_fallback_aggregators)
 
 
 @dataclass
@@ -148,6 +176,38 @@ class TrainingHistory:
         return sum(estimates) / len(estimates)
 
     @property
+    def churn_event_trace(self) -> List[List[str]]:
+        """Per-round join/leave/rejoin transitions, in round order."""
+        return [list(r.churn_events) for r in self.records]
+
+    @property
+    def total_churn_events(self) -> int:
+        return sum(len(r.churn_events) for r in self.records)
+
+    @property
+    def peak_materialized_clients(self) -> int:
+        """High-water mark of simultaneously materialized clients."""
+        return max((r.materialized_clients for r in self.records
+                    if r.materialized_clients is not None), default=0)
+
+    @property
+    def tier_fallback_rounds(self) -> List[int]:
+        """Rounds where some aggregation tier fell back below quorum."""
+        return [r.round_index for r in self.records
+                if r.tier_fallback_aggregators]
+
+    @property
+    def tier_degraded_rounds(self) -> List[int]:
+        """Rounds where some tier degraded (reduced quorum) or fell back."""
+        return [r.round_index for r in self.records if r.tier_degraded]
+
+    def tier_estimated_byzantine_trace(self, tier: int
+                                       ) -> List[Optional[int]]:
+        """Per-round maximum ``B-hat`` of one tier's estimating filters
+        (``None`` where the tier produced no estimate), in round order."""
+        return [r.tier_estimated_byzantine.get(tier) for r in self.records]
+
+    @property
     def filtered_model_id_counts(self) -> Dict[int, int]:
         """How many rounds each PS's model was rejected by some client."""
         counts: Dict[int, int] = {}
@@ -176,4 +236,8 @@ class TrainingHistory:
             "estimated_byzantine_trace": self.estimated_byzantine_trace,
             "mean_estimated_byzantine": self.mean_estimated_byzantine,
             "filtered_model_id_counts": self.filtered_model_id_counts,
+            "total_churn_events": self.total_churn_events,
+            "peak_materialized_clients": self.peak_materialized_clients,
+            "tier_fallback_rounds": self.tier_fallback_rounds,
+            "tier_degraded_rounds": self.tier_degraded_rounds,
         }

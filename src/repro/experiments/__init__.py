@@ -11,10 +11,18 @@ from .paper import (
 from .perf import (
     BENCH_FILENAME,
     PERF_PROFILES,
+    POPULATION_PERF,
     PerfProfile,
     format_report,
     run_round_loop_perf,
     write_bench_file,
+)
+from .population import (
+    POPULATION_PRESETS,
+    PopulationPreset,
+    build_population_trainer,
+    run_population_comm,
+    run_population_scale,
 )
 from .replication import ReplicatedCurve, ReplicationSummary, replicate
 from .results import Curve, FigureResult
@@ -58,6 +66,12 @@ __all__ = [
     "ADAPTIVE_CROSSOVER_VARIANTS",
     "BENCH_FILENAME",
     "PERF_PROFILES",
+    "POPULATION_PERF",
+    "POPULATION_PRESETS",
+    "PopulationPreset",
+    "build_population_trainer",
+    "run_population_comm",
+    "run_population_scale",
     "PerfProfile",
     "format_report",
     "run_round_loop_perf",

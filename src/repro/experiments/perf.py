@@ -140,6 +140,76 @@ def _measure(profile: PerfProfile, backend: str, num_clients: int,
     }
 
 
+#: Fixed shape of the perf harness's population row: K=1000 with 10%
+#: sampling through the (8, 2, 1) tier topology, serial backend — the
+#: sampled-cohort cost of a population 4-60x larger than the flat rows.
+POPULATION_PERF = {"population_size": 1000, "sample_fraction": 0.1,
+                   "tier_spec": (8, 2, 1)}
+
+
+def _measure_population(*, profile: PerfProfile, seed: int,
+                        warmup_rounds: int, timed_rounds: int
+                        ) -> Dict[str, object]:
+    from ..population import (
+        PopulationTrainer,
+        make_blob_population,
+        make_blob_test_dataset,
+    )
+
+    population = POPULATION_PERF["population_size"]
+    config = FedMSConfig(
+        num_clients=population,
+        num_servers=sum(POPULATION_PERF["tier_spec"]),
+        num_byzantine=0,
+        local_steps=profile.local_steps,
+        batch_size=profile.batch_size,
+        execution_backend="serial",
+        seed=seed,
+        population_size=population,
+        sample_fraction=POPULATION_PERF["sample_fraction"],
+        tier_spec=POPULATION_PERF["tier_spec"],
+    )
+    shard_specs = make_blob_population(
+        population, samples_per_client=profile.samples_per_client,
+        feature_dim=profile.feature_dim, num_classes=profile.num_classes,
+        seed=seed,
+    )
+    test = make_blob_test_dataset(
+        num_samples=64, feature_dim=profile.feature_dim,
+        num_classes=profile.num_classes, seed=seed,
+    )
+    dim, classes = profile.feature_dim, profile.num_classes
+    with PopulationTrainer(
+        config,
+        model_factory=lambda rng: SoftmaxRegression(dim, classes, rng=rng),
+        shard_specs=shard_specs,
+        test_dataset=test,
+    ) as trainer:
+        for _ in range(warmup_rounds):
+            trainer.run_round(evaluate=False)
+        bytes_before = trainer.network.stats.bytes_total
+        start = time.perf_counter()
+        for _ in range(timed_rounds):
+            trainer.run_round(evaluate=False)
+        elapsed = time.perf_counter() - start
+        bytes_moved = trainer.network.stats.bytes_total - bytes_before
+        sampled = trainer.history.records[-1].num_sampled_clients
+        peak = trainer.network.stats.peak_materialized_clients
+    rounds_per_sec = timed_rounds / elapsed if elapsed > 0 else 0.0
+    return {
+        "population_size": population,
+        "sample_fraction": POPULATION_PERF["sample_fraction"],
+        "tier_spec": list(POPULATION_PERF["tier_spec"]),
+        "backend": "serial",
+        "sampled_per_round": sampled,
+        "peak_materialized_clients": peak,
+        "rounds_per_sec": rounds_per_sec,
+        "seconds_per_round": (elapsed / timed_rounds if timed_rounds
+                              else 0.0),
+        "bytes_per_round": bytes_moved / timed_rounds,
+    }
+
+
 def run_round_loop_perf(profile: str = "smoke", *,
                         backends: Sequence[str] = ("serial", "thread",
                                                    "process"),
@@ -158,6 +228,11 @@ def run_round_loop_perf(profile: str = "smoke", *,
     (``topk(0.05) + int8`` on the serial backend, at the profile's largest
     client count) against the matching identity row, recording the
     achieved ``compression_ratio`` in the bench file so CI can gate on it.
+
+    A ``population`` section times one sampled population run (see
+    :data:`POPULATION_PERF`: K=1000 at 10% sampling through the sharded
+    tier topology), recording throughput, the sampled cohort size and the
+    peak materialized-client gauge alongside the flat rows.
     """
     try:
         spec = PERF_PROFILES[profile]
@@ -213,6 +288,10 @@ def run_round_loop_perf(profile: str = "smoke", *,
         "compression_ratio": (identity_bytes / codec_bytes
                               if codec_bytes > 0 else None),
     }
+    population_section = _measure_population(
+        profile=spec, seed=seed,
+        warmup_rounds=spec.warmup_rounds, timed_rounds=spec.timed_rounds,
+    )
     return {
         "bench": "round_loop",
         "profile": spec.name,
@@ -223,6 +302,7 @@ def run_round_loop_perf(profile: str = "smoke", *,
         "local_steps": spec.local_steps,
         "rows": rows,
         "codec": codec_section,
+        "population": population_section,
     }
 
 
@@ -267,5 +347,15 @@ def format_report(report: Dict[str, object]) -> str:
             f"{codec['bytes_per_round'] / 1024:.1f} KiB/round vs "
             f"{codec['identity_bytes_per_round'] / 1024:.1f} identity"
             + (f" ({ratio:.1f}x)" if ratio is not None else "")
+        )
+    population = report.get("population")
+    if population:
+        lines.append(
+            f"population K={population['population_size']} "
+            f"@{population['sample_fraction']:.0%} sampling "
+            f"(tiers {'x'.join(map(str, population['tier_spec']))}): "
+            f"{population['rounds_per_sec']:.2f} rounds/s, "
+            f"{population['sampled_per_round']} sampled, "
+            f"peak {population['peak_materialized_clients']} materialized"
         )
     return "\n".join(lines)

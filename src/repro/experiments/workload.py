@@ -61,6 +61,11 @@ class BenchScale:
 
 
 SCALES = {
+    "tiny": BenchScale(
+        name="tiny", num_train=300, num_test=100, num_clients=6,
+        num_servers=3, num_rounds=3, eval_every=3, hidden_width=8,
+        batch_size=16,
+    ),
     "smoke": BenchScale(
         name="smoke", num_train=600, num_test=200, num_clients=10,
         num_servers=5, num_rounds=8, eval_every=4, hidden_width=16,

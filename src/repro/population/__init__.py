@@ -1,0 +1,65 @@
+"""Population-scale Fed-MS: sampling, churn, sharded tier aggregation.
+
+This package scales the repo's flat Fed-MS loop (tens of clients, every
+client trains every round, one tier of PSs) to populations of 500-5000
+clients:
+
+* :mod:`~repro.population.clients` — ``K`` lightweight descriptors with
+  lazy materialization; only sampled clients hold datasets and model
+  replicas, so live state is ``O(sampled)``, not ``O(K)``.
+* :mod:`~repro.population.sampling` — per-round client sampling from a
+  ``(seed, round)``-derived stream, bit-identical across execution
+  backends.
+* :mod:`~repro.population.churn` — declarative join/leave/rejoin
+  membership plans, replayed deterministically.
+* :mod:`~repro.population.shards` — synthetic per-client data shard
+  specs that materialize on demand.
+* :mod:`~repro.population.tiers` — sharded edge -> region -> global
+  aggregation with the per-tier tolerance ``q_t >= 2*B_t + 1``.
+* :mod:`~repro.population.executor` — serial/thread/process execution of
+  the sampled cohort.
+* :mod:`~repro.population.trainer` — the :class:`PopulationTrainer`
+  orchestrating all of the above.
+
+See ``docs/population.md`` for the topology and tolerance math.
+"""
+
+from .churn import ChurnPlan, ChurnScheduler, MembershipWindow
+from .clients import ClientDescriptor, ClientPopulation
+from .executor import (
+    PopulationExecutor,
+    PopulationJob,
+    PopulationWorkerParams,
+    make_population_executor,
+)
+from .sampling import sample_clients, sample_size
+from .shards import (
+    ArrayShardSpec,
+    BlobShardSpec,
+    make_blob_population,
+    make_blob_test_dataset,
+)
+from .tiers import TierAggregator, TierOutcome, TierTopology
+from .trainer import PopulationTrainer
+
+__all__ = [
+    "ArrayShardSpec",
+    "BlobShardSpec",
+    "ChurnPlan",
+    "ChurnScheduler",
+    "ClientDescriptor",
+    "ClientPopulation",
+    "MembershipWindow",
+    "PopulationExecutor",
+    "PopulationJob",
+    "PopulationTrainer",
+    "PopulationWorkerParams",
+    "TierAggregator",
+    "TierOutcome",
+    "TierTopology",
+    "make_blob_population",
+    "make_blob_test_dataset",
+    "make_population_executor",
+    "sample_clients",
+    "sample_size",
+]

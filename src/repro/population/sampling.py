@@ -1,0 +1,51 @@
+"""Deterministic per-round client sampling.
+
+The sampling stream is derived from ``(seed, round_index)`` alone — not
+from any generator that advances across rounds or threads — so the set of
+sampled clients is a pure function of the round. That is what makes a
+population run bit-identical across the serial, thread and process
+execution paths: no matter which worker trains which client, the *choice*
+of clients was fixed before any work was scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.rng import stream_seed
+
+__all__ = ["sample_size", "sample_clients"]
+
+
+def sample_size(num_active: int, sample_fraction: float) -> int:
+    """How many clients a round samples: at least 1, at most all active."""
+    if num_active <= 0:
+        return 0
+    return min(num_active, max(1, round(sample_fraction * num_active)))
+
+
+def sample_clients(active_ids: Sequence[int], sample_fraction: float, *,
+                   seed: int, round_index: int) -> List[int]:
+    """Uniform sample without replacement from the active population.
+
+    Returns a sorted list. The draw is taken from a fresh generator
+    seeded with ``stream_seed(seed, "population/sample/round/<t>")`` over
+    the *sorted* active ids, so the result depends only on
+    ``(seed, round_index, active set)``.
+    """
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ConfigurationError(
+            f"sample_fraction must be in (0, 1], got {sample_fraction}"
+        )
+    ids = sorted(int(cid) for cid in active_ids)
+    size = sample_size(len(ids), sample_fraction)
+    if size == 0:
+        return []
+    rng = np.random.default_rng(stream_seed(
+        seed, f"population/sample/round/{round_index}"
+    ))
+    chosen = rng.choice(len(ids), size=size, replace=False)
+    return sorted(ids[i] for i in chosen)

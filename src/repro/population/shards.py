@@ -1,0 +1,165 @@
+"""Lazy, picklable dataset recipes for population-scale clients.
+
+A population of thousands of clients cannot afford one materialized
+dataset (and model replica) per client — the point of per-round sampling
+is that only the sampled clients pay for state. A *shard spec* is the
+lightweight stand-in: a frozen, picklable recipe from which the client's
+dataset is rebuilt deterministically on demand, in whichever process ends
+up training that client. Determinism is load-bearing: the process
+execution path rebuilds shards inside worker processes, and bit-identity
+across backends requires the rebuilt arrays to match the main process's
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.rng import stream_seed
+from ..data.datasets import ArrayDataset
+
+__all__ = ["BlobShardSpec", "ArrayShardSpec", "make_blob_population",
+           "make_blob_test_dataset"]
+
+
+@dataclass(frozen=True)
+class BlobShardSpec:
+    """A Gaussian-blob classification shard, derived entirely from seeds.
+
+    All shards of one population share ``centers_seed`` (they solve the
+    same classification problem); ``shard_seed`` individualizes the noise
+    draw. ``primary_class`` (optional) skews ``primary_fraction`` of the
+    shard's labels to one class — a cheap deterministic non-IID knob.
+    """
+
+    num_samples: int
+    feature_dim: int
+    num_classes: int
+    centers_seed: int
+    shard_seed: int
+    center_scale: float = 4.0
+    noise_scale: float = 1.0
+    primary_class: Optional[int] = None
+    primary_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 1:
+            raise ConfigurationError(
+                f"num_samples must be >= 1, got {self.num_samples}"
+            )
+        if self.feature_dim < 1 or self.num_classes < 2:
+            raise ConfigurationError(
+                f"need feature_dim >= 1 and num_classes >= 2, got "
+                f"({self.feature_dim}, {self.num_classes})"
+            )
+        if self.primary_class is not None and not (
+                0 <= self.primary_class < self.num_classes):
+            raise ConfigurationError(
+                f"primary_class {self.primary_class} outside "
+                f"[0, {self.num_classes})"
+            )
+        if not 0.0 <= self.primary_fraction <= 1.0:
+            raise ConfigurationError(
+                f"primary_fraction must be in [0, 1], got "
+                f"{self.primary_fraction}"
+            )
+
+    def materialize(self) -> ArrayDataset:
+        """Rebuild the shard's dataset; a pure function of the spec."""
+        centers = np.random.default_rng(self.centers_seed).normal(
+            scale=self.center_scale,
+            size=(self.num_classes, self.feature_dim),
+        )
+        rng = np.random.default_rng(self.shard_seed)
+        labels = np.arange(self.num_samples) % self.num_classes
+        if self.primary_class is not None:
+            skewed = int(self.num_samples * self.primary_fraction)
+            labels[:skewed] = self.primary_class
+        features = centers[labels] + rng.normal(
+            scale=self.noise_scale,
+            size=(self.num_samples, self.feature_dim),
+        )
+        return ArrayDataset(features, labels)
+
+
+@dataclass(frozen=True)
+class ArrayShardSpec:
+    """A shard wrapping in-memory arrays (already materialized).
+
+    Escape hatch for real datasets: laziness is lost (the arrays live in
+    the descriptor), but the sampling/churn/tier machinery works
+    unchanged.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.features) != len(self.labels) or len(self.features) == 0:
+            raise ConfigurationError(
+                f"features/labels length mismatch or empty: "
+                f"{len(self.features)} vs {len(self.labels)}"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.labels)
+
+    def materialize(self) -> ArrayDataset:
+        return ArrayDataset(self.features, self.labels)
+
+
+def make_blob_population(population_size: int, *, samples_per_client: int,
+                         feature_dim: int, num_classes: int, seed: int,
+                         heterogeneity: float = 0.0,
+                         center_scale: float = 4.0,
+                         noise_scale: float = 1.0) -> List[BlobShardSpec]:
+    """One :class:`BlobShardSpec` per client, sharing one set of centers.
+
+    ``heterogeneity`` is the fraction of clients (the lowest-id ones, so
+    the assignment is deterministic) given a skewed primary class.
+    """
+    if population_size < 1:
+        raise ConfigurationError(
+            f"population_size must be >= 1, got {population_size}"
+        )
+    if not 0.0 <= heterogeneity <= 1.0:
+        raise ConfigurationError(
+            f"heterogeneity must be in [0, 1], got {heterogeneity}"
+        )
+    centers_seed = stream_seed(seed, "population/blobs/centers")
+    skewed_clients = int(heterogeneity * population_size)
+    return [
+        BlobShardSpec(
+            num_samples=samples_per_client,
+            feature_dim=feature_dim,
+            num_classes=num_classes,
+            centers_seed=centers_seed,
+            shard_seed=stream_seed(seed, f"population/blobs/shard/{cid}"),
+            center_scale=center_scale,
+            noise_scale=noise_scale,
+            primary_class=(cid % num_classes if cid < skewed_clients
+                           else None),
+        )
+        for cid in range(population_size)
+    ]
+
+
+def make_blob_test_dataset(*, num_samples: int, feature_dim: int,
+                           num_classes: int, seed: int,
+                           center_scale: float = 4.0,
+                           noise_scale: float = 1.0) -> ArrayDataset:
+    """A held-out blob set from the same centers as the population."""
+    return BlobShardSpec(
+        num_samples=num_samples,
+        feature_dim=feature_dim,
+        num_classes=num_classes,
+        centers_seed=stream_seed(seed, "population/blobs/centers"),
+        shard_seed=stream_seed(seed, "population/blobs/test"),
+        center_scale=center_scale,
+        noise_scale=noise_scale,
+    ).materialize()

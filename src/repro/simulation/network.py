@@ -121,6 +121,7 @@ class TrafficStats:
         self.cleared_total = 0
         self.retries_total = 0
         self.retries_by_tag: Dict[str, int] = defaultdict(int)
+        self.peak_materialized_clients = 0
 
     def record(self, message: Message) -> None:
         self.messages_total += 1
@@ -147,6 +148,18 @@ class TrafficStats:
         self.retries_total += 1
         self.retries_by_tag[tag] += 1
 
+    def record_materialized(self, count: int) -> None:
+        """Track the high-water mark of simultaneously materialized clients.
+
+        A population-scale run (see :mod:`repro.population`) holds ``K``
+        lightweight descriptors but only materializes the sampled clients'
+        datasets and model replicas each round; this gauge is the evidence
+        that memory stays ``O(sampled)``, not ``O(K)``.
+        """
+        self.peak_materialized_clients = max(
+            self.peak_materialized_clients, int(count)
+        )
+
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict copy suitable for logging or assertions."""
         return {
@@ -162,6 +175,7 @@ class TrafficStats:
             "cleared_total": self.cleared_total,
             "retries_total": self.retries_total,
             "retries_by_tag": dict(self.retries_by_tag),
+            "peak_materialized_clients": self.peak_materialized_clients,
         }
 
     def reset(self) -> None:
@@ -176,6 +190,7 @@ class TrafficStats:
         self.cleared_total = 0
         self.retries_total = 0
         self.retries_by_tag.clear()
+        self.peak_materialized_clients = 0
 
 
 #: Decides whether a message is lost: ``(message) -> True`` means drop.

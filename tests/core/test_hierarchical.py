@@ -155,3 +155,36 @@ class TestByzantineVulnerability:
         history = robust.run(12, eval_every=12)
         clean = make_trainer(seed=8).run(12, eval_every=12)
         assert history.final_accuracy < clean.final_accuracy - 0.05
+
+
+class TestIgnoredConfigWarning:
+    """HierarchicalTrainer silently ignored upload knobs; now it says so."""
+
+    def _construct(self, **config_overrides):
+        data = make_blobs()
+        test = make_blobs(n=60, seed=1)
+        parts = iid_partition(data, 10, rng=RngFactory(0).make("p"))
+        kwargs = dict(num_clients=10, num_servers=5, num_byzantine=0,
+                      local_steps=2, batch_size=8, seed=0)
+        kwargs.update(config_overrides)
+        return HierarchicalTrainer(
+            FedMSConfig(**kwargs),
+            model_factory=lambda rng: SoftmaxRegression(6, 3, rng=rng),
+            client_datasets=parts,
+            test_dataset=test,
+        )
+
+    def test_warns_on_non_default_upload_strategy(self):
+        with pytest.warns(RuntimeWarning, match="upload_strategy='full'"):
+            self._construct(upload_strategy="full")
+
+    def test_warns_on_upload_codecs(self):
+        with pytest.warns(RuntimeWarning, match="upload_codecs"):
+            self._construct(upload_codecs=["topk(0.1)", "int8"])
+
+    def test_no_warning_for_default_config(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            self._construct()

@@ -55,6 +55,42 @@ class TestParser:
         assert build_parser().parse_args(
             ["comm", "--skip-codecs"]).skip_codecs is True
 
+    def test_comm_skip_population_flag(self):
+        assert build_parser().parse_args(["comm"]).skip_population is False
+        assert build_parser().parse_args(
+            ["comm", "--skip-population"]).skip_population is True
+
+    def test_population_defaults(self):
+        args = build_parser().parse_args(["population"])
+        assert args.command == "population"
+        assert args.attack == "sign_flip"
+        assert args.populations is None
+        assert args.no_churn is False
+        assert args.filter_rule is None
+
+    def test_population_flags(self):
+        args = build_parser().parse_args(
+            ["population", "--population", "500", "--population", "2000",
+             "--sample-fraction", "0.2", "--rounds", "5", "--no-churn",
+             "--filter", "adaptive_trimmed_mean"]
+        )
+        assert args.populations == [500, 2000]
+        assert args.sample_fraction == 0.2
+        assert args.rounds == 5
+        assert args.no_churn is True
+        assert args.filter_rule == "adaptive_trimmed_mean"
+
+    def test_population_rejects_unknown_filter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["population", "--filter", "nope"])
+
+    def test_help_epilog_groups_commands(self):
+        from repro.cli import HELP_EPILOG
+
+        assert "paper figures" in HELP_EPILOG
+        assert "extensions" in HELP_EPILOG
+        assert "population" in HELP_EPILOG
+
 
 class TestCommands:
     def test_fig2_runs(self, capsys):
@@ -130,6 +166,27 @@ class TestCommands:
     def test_quickstart_runs(self, capsys):
         assert main(["quickstart"]) == 0
         assert "final" in capsys.readouterr().out
+
+    def test_population_runs_at_tiny_scale(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert main(["population"]) == 0
+        output = capsys.readouterr().out
+        assert "population_scale" in output
+        assert "attacked" in output
+        assert "peak_materialized_clients" in output
+
+    def test_comm_emits_population_traffic(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert main(["comm"]) == 0
+        output = capsys.readouterr().out
+        assert "population_comm" in output
+        assert "tier0_upload" in output
+        assert "tier1_exchange" in output
+
+    def test_comm_skip_population(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert main(["comm", "--skip-population"]) == 0
+        assert "population_comm" not in capsys.readouterr().out
 
     def test_scale_flag_overrides_env(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")

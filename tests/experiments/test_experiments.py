@@ -27,7 +27,7 @@ SMOKE = SCALES["smoke"]
 
 class TestScales:
     def test_known_scales(self):
-        assert set(SCALES) == {"smoke", "reduced", "paper"}
+        assert set(SCALES) == {"tiny", "smoke", "reduced", "paper"}
 
     def test_env_selection(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")

@@ -1,0 +1,56 @@
+"""Per-round sampling: determinism and edge cases."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.population import sample_clients, sample_size
+
+
+class TestSampleSize:
+    def test_rounds_the_fraction(self):
+        assert sample_size(100, 0.1) == 10
+        assert sample_size(25, 0.1) == 2  # round(2.5) banker's -> 2
+
+    def test_at_least_one_when_any_active(self):
+        assert sample_size(3, 0.01) == 1
+
+    def test_zero_when_none_active(self):
+        assert sample_size(0, 0.5) == 0
+
+    def test_full_participation(self):
+        assert sample_size(7, 1.0) == 7
+
+
+class TestSampleClients:
+    def test_same_seed_and_round_is_identical(self):
+        ids = list(range(200))
+        one = sample_clients(ids, 0.1, seed=5, round_index=3)
+        two = sample_clients(ids, 0.1, seed=5, round_index=3)
+        assert one == two
+
+    def test_independent_of_input_order(self):
+        ids = list(range(100))
+        shuffled = ids[50:] + ids[:50]
+        assert (sample_clients(ids, 0.2, seed=1, round_index=0)
+                == sample_clients(shuffled, 0.2, seed=1, round_index=0))
+
+    def test_rounds_draw_different_sets(self):
+        ids = list(range(500))
+        draws = {tuple(sample_clients(ids, 0.05, seed=9, round_index=t))
+                 for t in range(5)}
+        assert len(draws) == 5
+
+    def test_sampled_ids_come_from_active_set(self):
+        active = [3, 17, 42, 99, 250]
+        chosen = sample_clients(active, 0.5, seed=0, round_index=2)
+        assert set(chosen) <= set(active)
+        assert chosen == sorted(chosen)
+
+    def test_empty_active_set(self):
+        assert sample_clients([], 0.5, seed=0, round_index=0) == []
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            sample_clients([1, 2], 0.0, seed=0, round_index=0)
+        with pytest.raises(ConfigurationError):
+            sample_clients([1, 2], 1.5, seed=0, round_index=0)

@@ -1,0 +1,157 @@
+"""Tier topology and per-tier Byzantine-filtered aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import make_attack
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.core.filtering import FilterOutcome
+from repro.population import TierAggregator, TierTopology
+
+
+class TestTierTopology:
+    def test_counts_must_end_in_one(self):
+        with pytest.raises(ConfigurationError):
+            TierTopology((8, 2))
+
+    def test_counts_must_be_non_increasing(self):
+        with pytest.raises(ConfigurationError):
+            TierTopology((2, 4, 1))
+
+    def test_infeasible_byzantine_budget(self):
+        # (8, 2, 1): tier-1 parents see 4 children; B=2 needs q >= 5.
+        with pytest.raises(ConfigurationError):
+            TierTopology((8, 2, 1), byzantine=(2, 0, 0))
+
+    def test_global_tier_must_be_honest(self):
+        with pytest.raises(ConfigurationError):
+            TierTopology((4, 1), byzantine=(0, 1))
+
+    def test_indices_and_assignment(self):
+        topology = TierTopology((6, 2, 1))
+        assert topology.num_tiers == 3
+        assert topology.total_aggregators == 9
+        assert topology.global_index(0, 5) == 5
+        assert topology.global_index(1, 1) == 7
+        assert topology.global_index(2, 0) == 8
+        assert topology.edge_of_client(13) == 1
+        assert topology.children_of(1, 0) == [0, 2, 4]
+        assert topology.parent_of(0, 3) == 1
+        assert topology.min_children(1) == 3
+
+    def test_trim_budgets_per_tier(self):
+        topology = TierTopology((10, 2, 1), byzantine=(2, 0, 0))
+        assert topology.trim_budget(0) == 0   # clients are trusted
+        assert topology.trim_budget(1) == 2   # tolerates tier-0 traitors
+        assert topology.trim_budget(2) == 0
+
+
+def make_aggregator(trim_budget=0, expected=None, dim=4, **kwargs):
+    return TierAggregator(
+        1, 0, global_index=6, trim_budget=trim_budget,
+        expected_children=expected, initial_model=np.zeros(dim), **kwargs
+    )
+
+
+class TestCombine:
+    def test_mean_with_zero_budget(self):
+        aggregator = make_aggregator()
+        outcome = aggregator.combine(
+            [np.full(4, 1.0), np.full(4, 3.0)], [0, 1]
+        )
+        np.testing.assert_allclose(outcome.vector, np.full(4, 2.0))
+        assert not outcome.used_fallback
+
+    def test_trimmed_mean_bounds_byzantine_children(self):
+        # The tolerance claim at tier granularity: with q = 2B+1 = 5 and
+        # B = 2 adversarial children at arbitrary magnitude, every output
+        # coordinate stays within the honest children's range.
+        aggregator = make_aggregator(trim_budget=2)
+        honest = [np.array([1.0, -1.0, 0.5, 2.0]),
+                  np.array([1.2, -0.8, 0.4, 2.2]),
+                  np.array([0.9, -1.1, 0.6, 1.9])]
+        adversarial = [np.full(4, 1e9), np.full(4, -1e9)]
+        outcome = aggregator.combine(honest + adversarial, [0, 1, 2, 3, 4])
+        stack = np.stack(honest)
+        assert np.all(outcome.vector >= stack.min(axis=0) - 1e-12)
+        assert np.all(outcome.vector <= stack.max(axis=0) + 1e-12)
+
+    def test_below_quorum_falls_back_to_previous_output(self):
+        aggregator = make_aggregator(trim_budget=2, expected=5)
+        first = aggregator.combine(
+            [np.full(4, float(i)) for i in range(5)], list(range(5))
+        )
+        # Only 4 of 5 children deliver: q < 2B+1, keep the last output.
+        second = aggregator.combine(
+            [np.full(4, 100.0)] * 4, [0, 1, 2, 3]
+        )
+        assert second.used_fallback
+        assert second.degraded
+        np.testing.assert_array_equal(second.vector, first.vector)
+        assert aggregator.rounds_without_quorum == 1
+
+    def test_empty_round_keeps_initial_model(self):
+        aggregator = make_aggregator()
+        outcome = aggregator.combine([], [])
+        assert outcome.used_fallback
+        np.testing.assert_array_equal(outcome.vector, np.zeros(4))
+
+    def test_degraded_flag_without_fallback(self):
+        aggregator = make_aggregator(trim_budget=1, expected=5)
+        outcome = aggregator.combine(
+            [np.full(4, float(i)) for i in range(4)], [0, 1, 2, 3]
+        )
+        assert outcome.degraded and not outcome.used_fallback
+
+    def test_info_fn_maps_rejections_to_child_ids(self):
+        def fake_info(stack):
+            return FilterOutcome(stack.mean(axis=0), 1, (2,))
+
+        aggregator = make_aggregator(trim_budget=1)
+        outcome = aggregator.combine(
+            [np.zeros(4)] * 3, [4, 7, 9], info_fn=fake_info
+        )
+        assert outcome.estimated_byzantine == 1
+        assert outcome.rejected_children == (9,)
+
+    def test_tier0_never_applies_info_fn(self):
+        called = []
+
+        def fake_info(stack):
+            called.append(True)
+            return FilterOutcome(stack.mean(axis=0), 0, ())
+
+        edge = TierAggregator(0, 0, global_index=0, trim_budget=0,
+                              expected_children=None,
+                              initial_model=np.zeros(4))
+        edge.combine([np.ones(4)], [0], info_fn=fake_info)
+        assert not called
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_aggregator().combine([np.zeros(4)], [0, 1])
+
+
+class TestOutgoing:
+    def test_honest_forwards_current_output(self):
+        aggregator = make_aggregator()
+        aggregator.combine([np.full(4, 2.0)], [0])
+        forwarded = aggregator.outgoing(0)
+        np.testing.assert_array_equal(forwarded, np.full(4, 2.0))
+        forwarded[:] = 0.0  # a copy: tampering the wire never mutates state
+        np.testing.assert_array_equal(aggregator.current_output,
+                                      np.full(4, 2.0))
+
+    def test_byzantine_tampering(self):
+        aggregator = make_aggregator(
+            attack=make_attack("sign_flip"),
+            attack_rng=np.random.default_rng(0),
+        )
+        aggregator.combine([np.full(4, 2.0)], [0])
+        forwarded = aggregator.outgoing(0)
+        assert aggregator.is_byzantine
+        assert not np.array_equal(forwarded, np.full(4, 2.0))
+
+    def test_byzantine_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            make_aggregator(attack=make_attack("sign_flip"))
