@@ -1,0 +1,59 @@
+"""Deadline-mode acceptance: faster rounds, fig2-shape accuracy held.
+
+Shape asserted: with 20% stragglers the deadline engine finishes each
+round measurably sooner in simulated time than the barrier (time_ratio
+well below 1), while final accuracy stays within the fig2 benchmark
+margin of the barrier run under both a weak (noise) and a coordinated
+(colluding) attack. Without stragglers the deadline must not hurt.
+"""
+
+import pytest
+
+from _harness import record_result, thresholds
+from repro.experiments import run_async_deadline
+
+
+@pytest.mark.parametrize("attack", ["noise", "colluding"])
+def test_async_deadline_tradeoff(benchmark, attack):
+    result = benchmark.pedantic(
+        lambda: run_async_deadline(attack_name=attack),
+        rounds=1, iterations=1,
+    )
+    record_result(result, name=f"async_deadline_{attack}")
+
+    limits = thresholds()
+    rows = result.rows
+
+    def pick(*, mode, rate, quantile=None):
+        for row in rows:
+            if (row["mode"] == mode
+                    and row["straggler_rate"] == rate
+                    and (quantile is None
+                         or row["deadline_quantile"] == quantile)):
+                return row
+        raise AssertionError(f"missing row {mode}/{rate}/{quantile}")
+
+    for rate in (0.0, 0.2):
+        barrier = pick(mode="barrier", rate=rate)
+        for quantile in (0.5, 0.9):
+            deadline = pick(mode="deadline", rate=rate, quantile=quantile)
+            # Deadline rounds never take longer than the barrier...
+            assert deadline["time_ratio"] <= 1.0 + 1e-9
+            # ... and accuracy stays within the fig2 parity margin.
+            assert deadline["final_accuracy"] >= \
+                barrier["final_accuracy"] - limits["parity"], (
+                    f"{attack} q={quantile} rate={rate}: deadline "
+                    f"{deadline['final_accuracy']:.3f} vs barrier "
+                    f"{barrier['final_accuracy']:.3f}"
+                )
+
+    # The headline claim: under 20% stragglers the q=0.9 deadline is
+    # measurably faster than the barrier in simulated time.
+    fast = pick(mode="deadline", rate=0.2, quantile=0.9)
+    assert fast["time_ratio"] < 0.8, (
+        f"deadline not measurably faster: ratio {fast['time_ratio']:.3f}"
+    )
+    assert fast["deadline_missed"] > 0  # the speedup came from not waiting
+
+    # Deadline mode still trains a useful model under attack.
+    assert fast["final_accuracy"] > limits["useful"]

@@ -43,6 +43,7 @@ from .experiments import (
     format_figure,
     format_report,
     run_adaptive_crossover,
+    run_async_deadline,
     run_comm_codecs,
     run_comm_cost,
     run_population_comm,
@@ -65,7 +66,7 @@ __all__ = ["main", "build_parser"]
 HELP_EPILOG = """\
 command groups:
   paper figures   fig2, fig3, fig4, fig5, comm, convergence, ablation, all
-  extensions      faults, adaptive, population
+  extensions      faults, adaptive, population, async
   ops             quickstart, perf
 
 Run 'python -m repro <command> --help' for per-command flags.
@@ -173,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="filter rule applied at tiers >= 1 "
                                  "(default: per-tier static trimmed mean)")
 
+    async_cmd = commands.add_parser(
+        "async", help="deadline-driven aggregation vs the barrier baseline "
+                      "under stragglers (extension)")
+    async_cmd.add_argument("--attack", default="noise",
+                           choices=available_attacks())
+    async_cmd.add_argument("--quantile", action="append", type=float,
+                           dest="quantiles", metavar="Q",
+                           help="deadline quantile of the straggler-free "
+                                "latency; repeat for a sweep "
+                                "(default 0.5 and 0.9)")
+    async_cmd.add_argument("--straggler-rate", action="append", type=float,
+                           dest="straggler_rates", metavar="R",
+                           help="per-message straggler probability; repeat "
+                                "for a sweep (default 0.0 and 0.2)")
+    async_cmd.add_argument("--rounds", type=int, default=None,
+                           help="override the scale's round count")
+
     commands.add_parser("quickstart", help="tiny end-to-end demo run")
 
     perf = commands.add_parser(
@@ -262,6 +280,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   num_crashes=args.crashes,
                                   attack_name=args.attack,
                                   scale=scale, seed=seed))
+    elif args.command == "async":
+        _emit(run_async_deadline(
+            attack_name=args.attack, scale=scale,
+            deadline_quantiles=args.quantiles or (0.5, 0.9),
+            straggler_rates=args.straggler_rates or (0.0, 0.2),
+            num_rounds=args.rounds, seed=seed,
+        ))
     elif args.command == "adaptive":
         _emit(run_adaptive_crossover(attack_name=args.attack,
                                      with_faults=not args.no_faults,

@@ -19,8 +19,10 @@ from .filtering import (
     FilterOutcome,
     ResolvedFilter,
     RootLossEvaluator,
+    quorum_floor,
     resolve_filter,
 )
+from .health import BreakerState, HealthLedger, HealthPolicy
 from .hierarchical import HierarchicalTrainer
 from .history import RoundRecord, TrainingHistory
 from .server import ByzantineParameterServer, ParameterServer
@@ -58,7 +60,11 @@ __all__ = [
     "FilterOutcome",
     "ResolvedFilter",
     "RootLossEvaluator",
+    "quorum_floor",
     "resolve_filter",
+    "BreakerState",
+    "HealthLedger",
+    "HealthPolicy",
     "RoundRecord",
     "TrainingHistory",
     "UploadStrategy",

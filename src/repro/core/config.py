@@ -22,7 +22,7 @@ from ..common.validation import (
     require,
 )
 from .codecs import make_codec_pipeline
-from .upload import make_upload_strategy
+from .upload import RetryPolicy, make_upload_strategy
 
 __all__ = ["FaultConfig", "FedMSConfig", "EXECUTION_BACKEND_ENV",
            "NUM_WORKERS_ENV", "UPLOAD_CODECS_ENV"]
@@ -182,6 +182,44 @@ class FedMSConfig:
         and backoff); defaults are used when ``None``. The fault *events*
         themselves live in a
         :class:`~repro.simulation.faults.FaultPlan` passed to the trainer.
+    retry_policy:
+        The :class:`~repro.core.upload.RetryPolicy` both
+        :class:`~repro.core.trainer.FedMSTrainer` and
+        :class:`~repro.population.PopulationTrainer` consume for failed
+        sends. ``None`` (default) derives one from ``faults``; supplying
+        retry knobs through ``faults`` *and* a divergent ``retry_policy``
+        is deprecated — the explicit policy wins.
+    aggregation_mode:
+        ``"barrier"`` (paper default — every round waits for all alive
+        PSs) or ``"deadline"`` — aggregate whatever arrived when the
+        round deadline fires, admitting bounded-staleness late arrivals
+        next round. See ``docs/faults.md``.
+    deadline_quantile:
+        In deadline mode, the quantile of the straggler-free latency
+        distribution used to calibrate the deadline (ignored when
+        ``deadline_s`` is set).
+    deadline_s:
+        Explicit round deadline in simulated seconds; overrides
+        ``deadline_quantile``.
+    max_staleness:
+        How many rounds a late arrival stays admissible: a model that
+        missed round ``t``'s deadline may still be counted in rounds up
+        to ``t + max_staleness``.
+    straggler_rate:
+        Probability that any single simulated transfer straggles (its
+        latency is inflated by ``straggler_factor``), drawn per message
+        from a ``(seed, round, leg, sender)`` stream.
+    straggler_factor:
+        Latency multiplier for straggling transfers.
+    health_scoring:
+        Enables the per-PS health ledger and circuit breaker
+        (``core/health.py``): crash/straggle/filter evidence decays into
+        a reputation score; persistently-bad PSs are excluded from upload
+        sampling and quorum counting until they pass probation.
+    health_decay / health_open_threshold / health_probation_rounds:
+        :class:`~repro.core.health.HealthPolicy` knobs — score decay per
+        round, the score below which the breaker opens, and how many
+        clean rounds an open PS needs before half-open readmission.
     execution_backend:
         How the per-round client steps run: ``"serial"`` (one process, the
         default), ``"thread"`` (thread pool) or ``"process"`` (persistent
@@ -222,6 +260,17 @@ class FedMSConfig:
     churn_rejoin_fraction: float = 0.5
     churn_dwell_rounds: int = 3
     faults: Optional[FaultConfig] = None
+    retry_policy: Optional[RetryPolicy] = None
+    aggregation_mode: str = "barrier"
+    deadline_quantile: float = 0.9
+    deadline_s: Optional[float] = None
+    max_staleness: int = 1
+    straggler_rate: float = 0.0
+    straggler_factor: float = 10.0
+    health_scoring: bool = False
+    health_decay: float = 0.7
+    health_open_threshold: float = 0.4
+    health_probation_rounds: int = 2
     execution_backend: Optional[str] = None
     num_workers: Optional[int] = None
     seed: int = 0
@@ -264,6 +313,42 @@ class FedMSConfig:
                 f"num_clients={self.num_clients}")
         require(self.faults is None or isinstance(self.faults, FaultConfig),
                 f"faults must be a FaultConfig, got {type(self.faults)}")
+        require(self.retry_policy is None
+                or isinstance(self.retry_policy, RetryPolicy),
+                f"retry_policy must be a RetryPolicy, got "
+                f"{type(self.retry_policy)}")
+        if (self.retry_policy is not None and self.faults is not None
+                and RetryPolicy.from_config(self.faults)
+                != self.retry_policy):
+            import warnings
+
+            warnings.warn(
+                "passing divergent retry knobs through both "
+                "FedMSConfig.retry_policy and FaultConfig is deprecated; "
+                "the explicit retry_policy wins — drop the FaultConfig "
+                "retry fields",
+                DeprecationWarning, stacklevel=3,
+            )
+        require(self.aggregation_mode in ("barrier", "deadline"),
+                f"aggregation_mode must be 'barrier' or 'deadline', got "
+                f"{self.aggregation_mode!r}")
+        check_fraction(self.deadline_quantile, "deadline_quantile")
+        require(self.deadline_quantile > 0.0,
+                f"deadline_quantile must be > 0, got "
+                f"{self.deadline_quantile}")
+        require(self.deadline_s is None or self.deadline_s > 0,
+                f"deadline_s must be positive, got {self.deadline_s}")
+        check_nonnegative_int(self.max_staleness, "max_staleness")
+        check_fraction(self.straggler_rate, "straggler_rate",
+                       upper=1.0, inclusive_upper=False)
+        require(self.straggler_factor >= 1.0,
+                f"straggler_factor must be >= 1, got "
+                f"{self.straggler_factor}")
+        # Eager, like FaultConfig: bad health knobs fail at config time.
+        if self.health_scoring:
+            from .health import HealthPolicy
+
+            HealthPolicy.from_config(self)
         if self.population_size is not None:
             check_positive_int(self.population_size, "population_size")
         require(0.0 < self.sample_fraction <= 1.0,
@@ -344,6 +429,23 @@ class FedMSConfig:
     def resolved_faults(self) -> "FaultConfig":
         """The fault knobs in effect (defaults when ``faults is None``)."""
         return self.faults if self.faults is not None else FaultConfig()
+
+    @property
+    def resolved_retry_policy(self) -> "RetryPolicy":
+        """The retry policy both trainers consume.
+
+        The explicit ``retry_policy`` wins; otherwise one is derived from
+        the (possibly default) ``faults`` knobs, preserving the legacy
+        FaultConfig route.
+        """
+        if self.retry_policy is not None:
+            return self.retry_policy
+        return RetryPolicy.from_config(self.resolved_faults)
+
+    @property
+    def deadline_mode(self) -> bool:
+        """True when rounds aggregate on a deadline instead of a barrier."""
+        return self.aggregation_mode == "deadline"
 
     @property
     def resolved_execution_backend(self) -> str:

@@ -38,7 +38,21 @@ from ..nn.serialization import from_vector
 from .config import FedMSConfig
 
 __all__ = ["FilterOutcome", "RootLossEvaluator", "ResolvedFilter",
-           "resolve_filter"]
+           "quorum_floor", "resolve_filter"]
+
+
+def quorum_floor(num_byzantine: int) -> int:
+    """Minimum countable quorum that still tolerates ``num_byzantine`` PSs.
+
+    The trimmed filter keeps its absolute tolerance B only while
+    ``q >= 2B+1`` (``degraded_trim_count`` returns ``None`` at
+    ``q <= 2B``); health-based exclusions must never push the counted
+    quorum below this floor.
+    """
+    if num_byzantine < 0:
+        raise ConfigurationError(
+            f"num_byzantine must be >= 0, got {num_byzantine}")
+    return 2 * int(num_byzantine) + 1
 
 
 class FilterOutcome:

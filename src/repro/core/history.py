@@ -42,6 +42,15 @@ class RoundRecord:
     indices* whose forwarded model some parent rejected, and the
     aggregators that degraded (reduced quorum) or fell back to their
     previous output (quorum at or below ``2B_t``).
+
+    The timing/health fields record the deadline engine and the PS health
+    ledger: ``simulated_time_s`` is the round's virtual-clock duration,
+    ``deadline_missed``/``late_admitted`` count messages that missed the
+    round deadline and stale messages admitted within the staleness bound,
+    ``health_scores``/``breaker_states`` snapshot the per-PS reputation
+    ledger after the round, and ``excluded_servers`` lists the PSs whose
+    open circuit breaker excluded them from upload sampling and quorum
+    counting this round.
     """
 
     round_index: int
@@ -71,6 +80,12 @@ class RoundRecord:
         default_factory=dict)
     tier_fallback_aggregators: Dict[int, List[int]] = field(
         default_factory=dict)
+    simulated_time_s: Optional[float] = None
+    deadline_missed: int = 0
+    late_admitted: int = 0
+    health_scores: Dict[int, float] = field(default_factory=dict)
+    breaker_states: Dict[int, str] = field(default_factory=dict)
+    excluded_servers: List[int] = field(default_factory=list)
 
     @property
     def min_models_received(self) -> Optional[int]:
@@ -208,6 +223,39 @@ class TrainingHistory:
         return [r.tier_estimated_byzantine.get(tier) for r in self.records]
 
     @property
+    def total_simulated_time_s(self) -> Optional[float]:
+        """Sum of per-round simulated durations (``None`` if never timed)."""
+        times = [r.simulated_time_s for r in self.records
+                 if r.simulated_time_s is not None]
+        if not times:
+            return None
+        return sum(times)
+
+    @property
+    def total_deadline_missed(self) -> int:
+        """Messages that missed their round deadline, across the run."""
+        return sum(r.deadline_missed for r in self.records)
+
+    @property
+    def total_late_admitted(self) -> int:
+        """Late arrivals admitted within the staleness bound, run-wide."""
+        return sum(r.late_admitted for r in self.records)
+
+    def health_score_trace(self, server_id: int) -> List[Optional[float]]:
+        """Per-round reputation score of one PS (``None`` where the health
+        ledger was off), in round order."""
+        return [r.health_scores.get(server_id) for r in self.records]
+
+    def breaker_state_trace(self, server_id: int) -> List[Optional[str]]:
+        """Per-round circuit-breaker state of one PS, in round order."""
+        return [r.breaker_states.get(server_id) for r in self.records]
+
+    @property
+    def excluded_server_trace(self) -> List[List[int]]:
+        """Per-round health-excluded PS ids, in round order."""
+        return [list(r.excluded_servers) for r in self.records]
+
+    @property
     def filtered_model_id_counts(self) -> Dict[int, int]:
         """How many rounds each PS's model was rejected by some client."""
         counts: Dict[int, int] = {}
@@ -240,4 +288,8 @@ class TrainingHistory:
             "peak_materialized_clients": self.peak_materialized_clients,
             "tier_fallback_rounds": self.tier_fallback_rounds,
             "tier_degraded_rounds": self.tier_degraded_rounds,
+            "total_simulated_time_s": self.total_simulated_time_s,
+            "total_deadline_missed": self.total_deadline_missed,
+            "total_late_admitted": self.total_late_admitted,
+            "excluded_server_trace": self.excluded_server_trace,
         }

@@ -44,6 +44,10 @@ class ParameterServer:
         )
         self.aggregate_history: List[np.ndarray] = []
         self.rounds_without_uploads = 0
+        # Round of the most recent dissemination this PS produced; lets
+        # deadline-mode consumers measure how stale a buffered or
+        # readmitted broadcast is without re-deriving it from traces.
+        self.last_disseminated_round: Optional[int] = None
 
     @property
     def is_byzantine(self) -> bool:
@@ -93,6 +97,7 @@ class ParameterServer:
                     all_server_aggregates: Optional[np.ndarray] = None
                     ) -> np.ndarray:
         """The model this PS sends to ``client_id`` (benign: the truth)."""
+        self.last_disseminated_round = round_index
         return self.current_aggregate.copy()
 
     def __repr__(self) -> str:
@@ -123,6 +128,7 @@ class ByzantineParameterServer(ParameterServer):
     def disseminate(self, *, round_index: int, client_id: Optional[int] = None,
                     all_server_aggregates: Optional[np.ndarray] = None
                     ) -> np.ndarray:
+        self.last_disseminated_round = round_index
         context = AttackContext(
             round_index=round_index,
             server_id=self.server_id,

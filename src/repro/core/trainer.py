@@ -16,6 +16,15 @@ with bounded backoff and re-sample an alive PS, crashed PSs simply miss
 rounds, and a client receiving only ``q < P`` models filters them with the
 degraded-quorum trim count (falling back to its previous feasible model
 when ``q`` is too small to out-vote the Byzantine PSs).
+
+Two orthogonal robustness layers ride on top (see docs/faults.md): with
+``config.aggregation_mode="deadline"`` a deterministic
+:class:`~repro.simulation.clock.VirtualClock` times every broadcast and
+the round aggregates whatever arrived by the deadline (late broadcasts
+are buffered and admitted next round within ``config.max_staleness``);
+with ``config.health_scoring`` a per-PS reputation ledger
+(:mod:`repro.core.health`) circuit-breaks persistently-bad PSs out of
+upload sampling and quorum counting, never below the ``2B+1`` floor.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from ..execution import FilterJob, FilterSpec, WorkerSpec, make_backend
 from ..nn.module import Module
 from ..nn.schedules import LRSchedule
 from ..nn.serialization import from_vector, to_vector
+from ..simulation.clock import VirtualClock, split_by_deadline
 from ..simulation.faults import FaultInjector
 from ..simulation.network import Message, Network, NodeId
 from ..simulation.scheduler import RoundScheduler
@@ -50,10 +60,11 @@ from .codecs import (
     make_codec_pipeline,
 )
 from .config import FedMSConfig
-from .filtering import FilterOutcome, resolve_filter
+from .filtering import FilterOutcome, quorum_floor, resolve_filter
+from .health import HealthLedger, HealthPolicy
 from .history import RoundRecord, TrainingHistory
 from .server import ByzantineParameterServer, ParameterServer
-from .upload import RetryPolicy, UploadStrategy, make_upload_strategy
+from .upload import UploadStrategy, make_upload_strategy
 
 __all__ = ["FedMSTrainer", "make_fedavg_trainer"]
 
@@ -82,6 +93,15 @@ class _RoundState:
     filter_references: Optional[np.ndarray] = None
     fault_events: List[str] = field(default_factory=list)
     alive_server_ids: List[int] = field(default_factory=list)
+    # Alive minus health-excluded: the PSs that take uploads, broadcast
+    # and count toward quorum this round. Equal to ``alive_server_ids``
+    # when health scoring is off.
+    admitted_server_ids: List[int] = field(default_factory=list)
+    excluded_server_ids: List[int] = field(default_factory=list)
+    late_server_ids: List[int] = field(default_factory=list)
+    deadline_missed: int = 0
+    late_admitted: int = 0
+    simulated_time_s: float = 0.0
     upload_retries: int = 0
     upload_failures: int = 0
     backoff_s: float = 0.0
@@ -220,7 +240,35 @@ class FedMSTrainer:
                 fault_injector.round_deadline_s = \
                     self.fault_config.round_deadline_s
             self.network.add_drop_rule(fault_injector.should_drop)
-        self.retry_policy = RetryPolicy.from_config(config)
+        self.retry_policy = config.resolved_retry_policy
+
+        # Virtual message timing. Every arrival draw is a pure function of
+        # (seed, round, leg, sender), so timing never perturbs the training
+        # streams and stays bit-identical across execution backends. In
+        # barrier mode the clock only *measures* (simulated round time); in
+        # deadline mode it decides which broadcasts make the round.
+        self.clock = VirtualClock(
+            config.seed,
+            straggler_rate=config.straggler_rate,
+            straggler_factor=config.straggler_factor,
+        )
+        self._deadline_s: Optional[float] = None
+        if config.deadline_mode:
+            self._deadline_s = (
+                config.deadline_s if config.deadline_s is not None
+                else self.clock.deadline_for_quantile(config.deadline_quantile)
+            )
+        # Broadcasts that missed a round's deadline, buffered for
+        # bounded-staleness admission: server_id -> (origin_round, vector).
+        self._late_broadcasts: Dict[int, "tuple[int, np.ndarray]"] = {}
+
+        # Per-PS reputation ledger + circuit breaker (docs/faults.md).
+        # Runs entirely in the main process on structured evidence, so it
+        # cannot break backend bit-identity.
+        self._health: Optional[HealthLedger] = (
+            HealthLedger(config.num_servers, HealthPolicy.from_config(config))
+            if config.health_scoring else None
+        )
 
         # Shared initial model w_0 (Algorithm 1, line 6).
         init_model = model_factory(self.rngs.make("init/global"))
@@ -411,6 +459,23 @@ class FedMSTrainer:
         # to offline clients) expires here and is counted as cleared.
         cleared = self.network.clear()
 
+        health_scores: Dict[int, float] = {}
+        breaker_states: Dict[int, str] = {}
+        if self._health is not None:
+            # Fold this round's structured evidence into the ledger; the
+            # resulting exclusions take effect at the *next* round's start.
+            crashed = (set(range(self.config.num_servers))
+                       - set(state.alive_server_ids))
+            state.fault_events.extend(self._health.observe_round(
+                t,
+                crashed=crashed,
+                straggling=state.late_server_ids,
+                filtered=state.filtered_model_ids,
+            ))
+            snapshot = self._health.snapshot()
+            health_scores = snapshot["scores"]
+            breaker_states = snapshot["states"]
+
         record = RoundRecord(
             round_index=t,
             train_loss=state.train_loss,
@@ -434,6 +499,12 @@ class FedMSTrainer:
             fault_events=list(state.fault_events),
             estimated_byzantine=state.estimated_byzantine,
             filtered_model_ids=sorted(state.filtered_model_ids),
+            simulated_time_s=state.simulated_time_s,
+            deadline_missed=state.deadline_missed,
+            late_admitted=state.late_admitted,
+            health_scores=health_scores,
+            breaker_states=breaker_states,
+            excluded_servers=list(state.excluded_server_ids),
         )
         if evaluate:
             record.test_loss, record.test_accuracy = self._evaluate()
@@ -462,6 +533,20 @@ class FedMSTrainer:
         state = self._round
         assert state is not None
         state.alive_server_ids = self._alive_server_ids()
+        state.admitted_server_ids = list(state.alive_server_ids)
+        if self._health is not None:
+            # Exclusion is decided at round start from the evidence of
+            # *previous* rounds, and the ledger readmits the best-scored
+            # open breakers whenever exclusion would push the counted
+            # quorum below the 2B+1 floor.
+            excluded = self._health.excluded_servers(
+                state.alive_server_ids,
+                quorum_floor=quorum_floor(config.num_byzantine),
+            )
+            state.excluded_server_ids = sorted(excluded)
+            state.admitted_server_ids = [
+                s for s in state.alive_server_ids if s not in excluded
+            ]
         if config.participation_fraction < 1.0:
             chosen = self._participation_rng.choice(
                 config.num_clients, size=config.participants_per_round,
@@ -581,18 +666,28 @@ class FedMSTrainer:
         return payload  # type: ignore[return-value]
 
     def _phase_upload(self, t: int) -> None:
-        """Stage 2 (client side): sparse upload with bounded retry."""
+        """Stage 2 (client side): sparse upload with bounded retry.
+
+        Health-excluded PSs are removed from the sampling pool: the
+        strategy assigns indices into the candidate list, which is the
+        full ``range(P)`` when nothing is excluded — so with health
+        scoring off (or no open breakers) the draws are bit-identical to
+        the unpooled assignment.
+        """
         state = self._round
         assert state is not None
+        excluded = set(state.excluded_server_ids)
+        candidates = [s for s in range(self.config.num_servers)
+                      if s not in excluded]
         assignment = self.upload_strategy.assign(
-            len(state.participants), self.config.num_servers,
+            len(state.participants), len(candidates),
             rng=self._assignment_rng,
         )
         for client, targets in zip(state.participants, assignment):
             vector = state.vectors[client.client_id]
-            for server_index in targets:
+            for index in targets:
                 self._upload_with_retry(
-                    client.client_id, vector, server_index, t, state
+                    client.client_id, vector, candidates[index], t, state
                 )
 
     def _upload_with_retry(self, client_id: int, vector: np.ndarray,
@@ -622,7 +717,8 @@ class FedMSTrainer:
             state.upload_retries += 1
             state.backoff_s += policy.backoff_s(attempt)
             next_target = policy.next_target(
-                attempt, current, state.alive_server_ids, rng=self._retry_rng
+                attempt, current, state.admitted_server_ids,
+                rng=self._retry_rng
             )
             if next_target is None:
                 break
@@ -651,9 +747,12 @@ class FedMSTrainer:
         """
         state = self._round
         assert state is not None
-        alive = set(state.alive_server_ids)
+        admitted = set(state.admitted_server_ids)
         for server in self.servers:
-            if server.server_id not in alive:
+            # A health-excluded PS sits the round out like a crashed one:
+            # it takes no uploads (clients did not sample it) and its
+            # aggregate history freezes until readmission.
+            if server.server_id not in admitted:
                 continue
             uploads = [self._payload_vector(m.payload, state) for m in
                        self.network.receive(NodeId.server(server.server_id))]
@@ -667,10 +766,19 @@ class FedMSTrainer:
         ])
 
     def _phase_disseminate(self, t: int) -> None:
-        """Stage 3 (server side): every alive PS sends to every online client."""
+        """Stage 3 (server side): every admitted PS sends to every client.
+
+        The virtual clock assigns each admitted PS's broadcast an arrival
+        time. Barrier mode waits for the slowest (that max is the round's
+        simulated duration); deadline mode closes the round at the
+        deadline — broadcasts arriving later are withheld this round,
+        buffered, and admitted next round while within the staleness
+        bound, *only* when the sender produced no fresh on-time broadcast
+        (a strategically-straggling PS never gets two votes in one round).
+        """
         state = self._round
         assert state is not None
-        alive = set(state.alive_server_ids)
+        admitted = set(state.admitted_server_ids)
         if self.fault_injector is None:
             state.active_clients = list(self.clients)
         else:
@@ -678,9 +786,24 @@ class FedMSTrainer:
                 client for client in self.clients
                 if self.fault_injector.client_active(client.client_id)
             ]
+        arrivals = self.clock.arrivals(t, "broadcast",
+                                       sorted(admitted))
+        deadline = self._deadline_s
+        if deadline is not None:
+            _, late_ids = split_by_deadline(arrivals, deadline)
+        else:
+            late_ids = []
+        state.late_server_ids = list(late_ids)
+        state.deadline_missed = len(late_ids)
+        stage_s = self.clock.stage_seconds(arrivals, deadline_s=deadline)
+        state.simulated_time_s = stage_s + state.backoff_s
+        self.scheduler.record_simulated("disseminate", stage_s)
+        late = set(late_ids)
+        self._admit_stale_broadcasts(t, state, admitted, late)
         for client in self.clients:
             for server in self.servers:
-                if server.server_id not in alive:
+                if server.server_id not in admitted \
+                        or server.server_id in late:
                     continue
                 payload = self._disseminated_payload(
                     server, client.client_id, t, state
@@ -692,12 +815,58 @@ class FedMSTrainer:
                     tag="dissemination",
                     round_index=t,
                 ))
+        for server_id in late_ids:
+            # The broadcast happened — it just missed the deadline. Buffer
+            # the model as of *this* round for next-round stale admission.
+            # Client-dependent attacks are flattened to their broadcast
+            # form here (one vector per PS); a late tamperer loses its
+            # per-client targeting, never gains from straggling.
+            vector = self.servers[server_id].disseminate(
+                round_index=t, client_id=None,
+                all_server_aggregates=state.all_aggregates,
+            )
+            self._late_broadcasts[server_id] = (t, vector)
         if self._codec_active:
             assert self._reference is not None
             # Workers decoding this round's filter jobs do so against the
             # reference the payloads were encoded with; the live reference
             # advances at the end of the filter phase, after these jobs ran.
             state.filter_references = self._reference
+
+    def _admit_stale_broadcasts(self, t: int, state: _RoundState,
+                                admitted: Set[int], late: Set[int]) -> None:
+        """Deliver buffered late broadcasts still within the staleness bound.
+
+        A buffered broadcast from round ``t0`` is admitted in round ``t``
+        when ``t - t0 <= max_staleness``, its sender is admitted, and the
+        sender has no fresh on-time broadcast this round (fresh supersedes
+        stale — the buffer is simply dropped). Senders currently crashed
+        or excluded keep their buffer until it expires.
+        """
+        if not self._late_broadcasts:
+            return
+        max_staleness = self.config.max_staleness
+        for server_id in sorted(self._late_broadcasts):
+            origin, vector = self._late_broadcasts[server_id]
+            if t - origin > max_staleness:
+                del self._late_broadcasts[server_id]
+                continue
+            if server_id not in admitted:
+                continue
+            if server_id not in late:
+                del self._late_broadcasts[server_id]
+                continue
+            payload = self._encode_for_wire(vector, t, state)
+            for client in self.clients:
+                self.network.send(Message(
+                    NodeId.server(server_id),
+                    NodeId.client(client.client_id),
+                    payload,
+                    tag="dissemination",
+                    round_index=t,
+                ))
+            state.late_admitted += 1
+            del self._late_broadcasts[server_id]
 
     def _phase_filter(self, t: int) -> None:
         """Stage 3 (client side): the Def() filter, quorum-aware.

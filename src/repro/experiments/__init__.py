@@ -1,6 +1,7 @@
 """Runnable reproductions of the paper's figures and claims."""
 
 from .ascii_plot import ascii_curve, ascii_curves
+from .async_deadline import run_async_deadline
 from .comm import CODEC_SWEEP_CONFIGS, COMM_SWEEP_ATTACKS, run_comm_codecs
 from .paper import (
     PAPER_CLAIMS,
@@ -55,6 +56,7 @@ __all__ = [
     "run_fig3_epsilon_panel",
     "run_fig4_heterogeneity",
     "run_fig5_alpha_panel",
+    "run_async_deadline",
     "run_comm_cost",
     "run_comm_codecs",
     "CODEC_SWEEP_CONFIGS",

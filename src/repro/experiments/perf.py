@@ -210,6 +210,62 @@ def _measure_population(*, profile: PerfProfile, seed: int,
     }
 
 
+#: Fixed shape of the deadline-vs-barrier perf row: 20% stragglers, the
+#: 0.9 quantile deadline — the acceptance criterion is a time_ratio < 1.
+DEADLINE_PERF = {"straggler_rate": 0.2, "deadline_quantile": 0.9}
+
+
+def _measure_deadline(*, profile: PerfProfile, seed: int,
+                      rounds: int) -> Dict[str, object]:
+    """Simulated-time comparison of barrier vs deadline aggregation.
+
+    Both runs share the workload and seed at the profile's smallest
+    client count; the metric is *virtual-clock* seconds (the barrier
+    waits out every straggling broadcast, the deadline does not), so the
+    section is wall-clock-noise free and deterministic per seed.
+    """
+    num_clients = profile.client_counts[0]
+    partitions, test = _make_workload(profile, num_clients, seed)
+    dim, classes = profile.feature_dim, profile.num_classes
+    times: Dict[str, float] = {}
+    for mode in ("barrier", "deadline"):
+        config = FedMSConfig(
+            num_clients=num_clients,
+            num_servers=profile.num_servers,
+            num_byzantine=0,
+            local_steps=profile.local_steps,
+            batch_size=profile.batch_size,
+            eval_clients=1,
+            execution_backend="serial",
+            seed=seed,
+            aggregation_mode=mode,
+            straggler_rate=DEADLINE_PERF["straggler_rate"],
+            deadline_quantile=DEADLINE_PERF["deadline_quantile"],
+        )
+        with FedMSTrainer(
+            config,
+            model_factory=lambda rng: SoftmaxRegression(dim, classes,
+                                                        rng=rng),
+            client_datasets=partitions,
+            test_dataset=test,
+        ) as trainer:
+            for _ in range(rounds):
+                trainer.run_round(evaluate=False)
+            times[mode] = float(
+                trainer.history.total_simulated_time_s or 0.0
+            )
+    barrier_s, deadline_s = times["barrier"], times["deadline"]
+    return {
+        "num_clients": num_clients,
+        "num_rounds": rounds,
+        "straggler_rate": DEADLINE_PERF["straggler_rate"],
+        "deadline_quantile": DEADLINE_PERF["deadline_quantile"],
+        "barrier_simulated_s": barrier_s,
+        "deadline_simulated_s": deadline_s,
+        "time_ratio": (deadline_s / barrier_s if barrier_s > 0 else None),
+    }
+
+
 def run_round_loop_perf(profile: str = "smoke", *,
                         backends: Sequence[str] = ("serial", "thread",
                                                    "process"),
@@ -233,6 +289,11 @@ def run_round_loop_perf(profile: str = "smoke", *,
     :data:`POPULATION_PERF`: K=1000 at 10% sampling through the sharded
     tier topology), recording throughput, the sampled cohort size and the
     peak materialized-client gauge alongside the flat rows.
+
+    A ``deadline`` section compares the *simulated* time of one
+    deadline-mode run against its barrier twin under 20% stragglers (see
+    :data:`DEADLINE_PERF`), recording ``time_ratio`` so CI can gate on
+    the deadline engine actually being faster.
     """
     try:
         spec = PERF_PROFILES[profile]
@@ -292,6 +353,10 @@ def run_round_loop_perf(profile: str = "smoke", *,
         profile=spec, seed=seed,
         warmup_rounds=spec.warmup_rounds, timed_rounds=spec.timed_rounds,
     )
+    deadline_section = _measure_deadline(
+        profile=spec, seed=seed,
+        rounds=spec.warmup_rounds + spec.timed_rounds,
+    )
     return {
         "bench": "round_loop",
         "profile": spec.name,
@@ -303,6 +368,7 @@ def run_round_loop_perf(profile: str = "smoke", *,
         "rows": rows,
         "codec": codec_section,
         "population": population_section,
+        "deadline": deadline_section,
     }
 
 
@@ -357,5 +423,15 @@ def format_report(report: Dict[str, object]) -> str:
             f"{population['rounds_per_sec']:.2f} rounds/s, "
             f"{population['sampled_per_round']} sampled, "
             f"peak {population['peak_materialized_clients']} materialized"
+        )
+    deadline = report.get("deadline")
+    if deadline:
+        ratio = deadline.get("time_ratio")
+        lines.append(
+            f"deadline q={deadline['deadline_quantile']} @ "
+            f"{deadline['straggler_rate']:.0%} stragglers: "
+            f"{deadline['deadline_simulated_s']:.2f}s simulated vs "
+            f"{deadline['barrier_simulated_s']:.2f}s barrier"
+            + (f" ({ratio:.2f}x)" if ratio is not None else "")
         )
     return "\n".join(lines)

@@ -1,5 +1,6 @@
 """Edge-network simulation: transport, accounting, scheduling, faults."""
 
+from .clock import VirtualClock, split_by_deadline
 from .faults import (
     ClientDropout,
     FaultInjector,
@@ -35,4 +36,6 @@ __all__ = [
     "UniformLatency",
     "LogNormalLatency",
     "round_time",
+    "VirtualClock",
+    "split_by_deadline",
 ]

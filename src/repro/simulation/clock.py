@@ -1,0 +1,139 @@
+"""Deterministic virtual time for deadline-driven rounds.
+
+The barrier semantics of the paper make every round as slow as its
+slowest parameter server. Deadline mode instead aggregates whatever has
+arrived when the round deadline fires, so the simulation needs per-message
+*arrival times*. :class:`VirtualClock` provides them deterministically:
+every draw comes from its own generator seeded from
+``(seed, round, leg, key)``, so the value a message gets does not depend
+on the order in which arrivals are sampled — which is what keeps the
+serial, thread and process execution backends bit-identical.
+
+Stragglers are modelled on top of the latency draw: with probability
+``straggler_rate`` (decided on the same per-message stream) the transfer
+time is inflated by ``straggler_factor``, pushing it past any deadline
+calibrated on the straggler-free distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.rng import stream_seed
+from .latency import LatencyModel, LogNormalLatency
+
+__all__ = ["VirtualClock", "split_by_deadline"]
+
+
+def split_by_deadline(arrivals: Dict[int, float], deadline_s: float,
+                      ) -> Tuple[List[int], List[int]]:
+    """Partition sender ids into (on-time, late) against ``deadline_s``.
+
+    Both lists come back sorted by sender id so downstream iteration order
+    is deterministic regardless of dict insertion order.
+    """
+    on_time = sorted(k for k, t in arrivals.items() if t <= deadline_s)
+    late = sorted(k for k, t in arrivals.items() if t > deadline_s)
+    return on_time, late
+
+
+class VirtualClock:
+    """Order-independent simulated message arrival times.
+
+    Parameters
+    ----------
+    seed:
+        Experiment root seed; combined with ``(round, leg, key)`` per draw.
+    latency:
+        The :class:`~repro.simulation.latency.LatencyModel` supplying base
+        transfer times. Defaults to the heavy-tailed
+        :class:`~repro.simulation.latency.LogNormalLatency`.
+    straggler_rate:
+        Probability that any single message is a straggler.
+    straggler_factor:
+        Multiplier applied to a straggling message's transfer time.
+    """
+
+    def __init__(self, seed: int, *, latency: Optional[LatencyModel] = None,
+                 straggler_rate: float = 0.0,
+                 straggler_factor: float = 10.0) -> None:
+        if not 0.0 <= straggler_rate < 1.0:
+            raise ConfigurationError(
+                f"straggler_rate must be in [0, 1), got {straggler_rate}")
+        if straggler_factor < 1.0:
+            raise ConfigurationError(
+                f"straggler_factor must be >= 1, got {straggler_factor}")
+        self.seed = int(seed)
+        self.latency = latency if latency is not None else LogNormalLatency()
+        self.straggler_rate = float(straggler_rate)
+        self.straggler_factor = float(straggler_factor)
+
+    def _rng(self, name: str) -> np.random.Generator:
+        return np.random.default_rng(stream_seed(self.seed, f"clock/{name}"))
+
+    def arrival_s(self, round_index: int, leg: str, key: int, *,
+                  size_bytes: int = 0) -> float:
+        """Arrival time (seconds after round start) of one message.
+
+        ``leg`` names the wire leg ("broadcast", "exchange", ...) and
+        ``key`` the sender within it. The draw is a pure function of
+        ``(seed, round_index, leg, key)`` — sampling order is irrelevant.
+        """
+        rng = self._rng(f"{round_index}/{leg}/{key}")
+        base = self.latency.sample(size_bytes=size_bytes, rng=rng)
+        if self.straggler_rate > 0.0 and rng.random() < self.straggler_rate:
+            return base * self.straggler_factor
+        return base
+
+    def arrivals(self, round_index: int, leg: str, keys: Iterable[int], *,
+                 size_bytes: int = 0) -> Dict[int, float]:
+        """Arrival times for every sender in ``keys`` on one leg."""
+        return {
+            key: self.arrival_s(round_index, leg, key, size_bytes=size_bytes)
+            for key in keys
+        }
+
+    def deadline_for_quantile(self, quantile: float, *,
+                              size_bytes: int = 0, draws: int = 256) -> float:
+        """Calibrate a deadline as a quantile of the *straggler-free* latency.
+
+        The calibration stream is independent of every arrival stream, and
+        stragglers are excluded on purpose: a straggler inflated by
+        ``straggler_factor`` should miss a deadline chosen this way, which
+        is what gives deadline mode its speedup.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ConfigurationError(
+                f"quantile must be in (0, 1], got {quantile}")
+        if draws < 2:
+            raise ConfigurationError(f"draws must be >= 2, got {draws}")
+        rng = self._rng("calibration")
+        samples = np.array([
+            self.latency.sample(size_bytes=size_bytes, rng=rng)
+            for _ in range(draws)
+        ])
+        return float(np.quantile(samples, quantile))
+
+    def stage_seconds(self, arrivals: Dict[int, float], *,
+                      deadline_s: Optional[float] = None) -> float:
+        """Simulated duration of one barrier/deadline stage.
+
+        Barrier (``deadline_s=None``): the max arrival. Deadline: capped at
+        the deadline — the round moves on when the deadline fires even if
+        messages are still in flight.
+        """
+        if not arrivals:
+            return 0.0
+        slowest = max(arrivals.values())
+        if deadline_s is None:
+            return slowest
+        return min(slowest, deadline_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"VirtualClock(seed={self.seed}, "
+                f"latency={type(self.latency).__name__}, "
+                f"straggler_rate={self.straggler_rate}, "
+                f"straggler_factor={self.straggler_factor})")

@@ -241,7 +241,10 @@ class FaultPlan:
                client_dropout_rate: float = 0.1,
                dropout_rounds: int = 3,
                link_partition_rate: float = 0.0,
-               partition_rounds: int = 3) -> "FaultPlan":
+               partition_rounds: int = 3,
+               server_straggler_rate: float = 0.0,
+               straggler_rounds: int = 3,
+               straggler_delay_s: float = 5.0) -> "FaultPlan":
         """Draw a random plan from an explicit generator, once.
 
         Each PS crashes with probability ``server_crash_rate`` at a
@@ -249,11 +252,16 @@ class FaultPlan:
         uniform window. Each client drops out with probability
         ``client_dropout_rate`` for ``dropout_rounds`` rounds, and each
         ``(client, server)`` link partitions with probability
-        ``link_partition_rate`` for ``partition_rounds`` rounds.
+        ``link_partition_rate`` for ``partition_rounds`` rounds. Each PS
+        independently straggles (delay ``straggler_delay_s`` for
+        ``straggler_rounds`` rounds) with probability
+        ``server_straggler_rate`` — the default of 0 consumes no draws,
+        so plans sampled before this knob existed replay bit-identically.
         """
         for name, rate in (("server_crash_rate", server_crash_rate),
                            ("client_dropout_rate", client_dropout_rate),
                            ("link_partition_rate", link_partition_rate),
+                           ("server_straggler_rate", server_straggler_rate),
                            ("recover_fraction", recover_fraction)):
             if not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(
@@ -290,8 +298,18 @@ class FaultPlan:
                     partitions.append(LinkPartition(
                         client_id, server_id, start, start + partition_rounds
                     ))
-        return cls(crashes=tuple(crashes), dropouts=tuple(dropouts),
-                   partitions=tuple(partitions))
+        stragglers: List[ServerStraggler] = []
+        if server_straggler_rate > 0.0:
+            for server_id in range(num_servers):
+                if rng.random() >= server_straggler_rate:
+                    continue
+                start = int(rng.integers(1, num_rounds))
+                stragglers.append(ServerStraggler(
+                    server_id, start, start + straggler_rounds,
+                    delay_s=straggler_delay_s,
+                ))
+        return cls(crashes=tuple(crashes), stragglers=tuple(stragglers),
+                   dropouts=tuple(dropouts), partitions=tuple(partitions))
 
 
 class FaultInjector:

@@ -22,7 +22,8 @@ def make_blobs(n=300, num_classes=3, dim=6, seed=0):
 
 
 def make_trainer(num_byzantine=0, attack=None, seed=0, groups=None,
-                 inter_server_rule=None, num_clients=10, num_servers=5):
+                 inter_server_rule=None, num_clients=10, num_servers=5,
+                 **config_kwargs):
     data = make_blobs(seed=seed)
     test = make_blobs(n=120, seed=seed + 1)
     parts = iid_partition(data, num_clients, rng=RngFactory(seed).make("p"))
@@ -30,6 +31,7 @@ def make_trainer(num_byzantine=0, attack=None, seed=0, groups=None,
         num_clients=num_clients, num_servers=num_servers,
         num_byzantine=num_byzantine, local_steps=2, batch_size=8,
         learning_rate=0.2, eval_clients=2, seed=seed,
+        **config_kwargs,
     )
     return HierarchicalTrainer(
         config,
@@ -158,7 +160,7 @@ class TestByzantineVulnerability:
 
 
 class TestIgnoredConfigWarning:
-    """HierarchicalTrainer silently ignored upload knobs; now it says so."""
+    """upload_strategy is the one knob grouping makes meaningless."""
 
     def _construct(self, **config_overrides):
         data = make_blobs()
@@ -178,9 +180,21 @@ class TestIgnoredConfigWarning:
         with pytest.warns(RuntimeWarning, match="upload_strategy='full'"):
             self._construct(upload_strategy="full")
 
-    def test_warns_on_upload_codecs(self):
-        with pytest.warns(RuntimeWarning, match="upload_codecs"):
-            self._construct(upload_codecs=["topk(0.1)", "int8"])
+    def test_upload_codecs_supported_without_warning(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            trainer = self._construct(upload_codecs=["topk(0.1)", "int8"])
+        assert trainer._codec_active
+        trainer.run_round(evaluate=False)
+        stats = trainer.network.stats
+        dense = self._construct()
+        dense.run_round(evaluate=False)
+        # The encoded legs carry measurably fewer bytes than dense ones.
+        for tag in ("upload", "inter_server", "dissemination"):
+            assert (stats.bytes_by_tag[tag]
+                    < dense.network.stats.bytes_by_tag[tag])
 
     def test_no_warning_for_default_config(self):
         import warnings as warnings_module
@@ -188,3 +202,32 @@ class TestIgnoredConfigWarning:
         with warnings_module.catch_warnings():
             warnings_module.simplefilter("error")
             self._construct()
+
+
+class TestDeadlineMode:
+    def test_deadline_beats_barrier_in_simulated_time(self):
+        barrier = make_trainer(straggler_rate=0.3)
+        barrier.run(3, eval_every=10)
+        deadline = make_trainer(aggregation_mode="deadline",
+                                straggler_rate=0.3)
+        deadline.run(3, eval_every=10)
+        assert (deadline.history.total_simulated_time_s
+                < barrier.history.total_simulated_time_s)
+
+    def test_late_exchanges_admitted_within_staleness(self):
+        trainer = make_trainer(aggregation_mode="deadline",
+                               straggler_rate=0.45, max_staleness=1)
+        history = trainer.run(6, eval_every=10)
+        assert history.total_deadline_missed > 0
+        assert history.total_late_admitted > 0
+
+    def test_zero_staleness_blocks_admission(self):
+        trainer = make_trainer(aggregation_mode="deadline",
+                               straggler_rate=0.45, max_staleness=0)
+        history = trainer.run(6, eval_every=10)
+        assert history.total_late_admitted == 0
+
+    def test_deadline_run_converges(self):
+        history = make_trainer(seed=1, aggregation_mode="deadline",
+                               straggler_rate=0.2).run(12, eval_every=12)
+        assert history.final_accuracy > 0.8
